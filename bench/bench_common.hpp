@@ -1,0 +1,67 @@
+#pragma once
+
+// Shared helpers for the experiment harnesses (see DESIGN.md per-experiment
+// index).  Every bench prints the rows/series of the paper element it
+// regenerates; EXPERIMENTS.md records paper-vs-measured.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/bounds.hpp"
+#include "core/packing.hpp"
+#include "gen/families.hpp"
+#include "gen/smart_grid.hpp"
+#include "util/prng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace dsp::bench {
+
+struct Family {
+  std::string name;
+  Instance (*make)(std::size_t n, Rng& rng);
+};
+
+inline Instance make_uniform(std::size_t n, Rng& rng) {
+  return gen::random_uniform(n, 120, 60, 24, rng);
+}
+inline Instance make_tall(std::size_t n, Rng& rng) {
+  return gen::tall_items(n, 120, 48, rng);
+}
+inline Instance make_wide(std::size_t n, Rng& rng) {
+  return gen::wide_items(n, 120, 12, rng);
+}
+inline Instance make_correlated(std::size_t n, Rng& rng) {
+  return gen::correlated(n, 120, 60, 24, rng);
+}
+inline Instance make_perfect(std::size_t n, Rng& rng) {
+  return gen::perfect_packing(n, 120, 40, rng);
+}
+inline Instance make_smartgrid(std::size_t n, Rng& rng) {
+  return gen::smart_grid(n, 96, rng);
+}
+/// Sparse strips: narrow items on a wide strip, so the optimum is a small
+/// multiple of the item heights.  This is the regime where the V category
+/// (and hence the Lemma-10 configuration LP) is populated.
+inline Instance make_sparse(std::size_t n, Rng& rng) {
+  return gen::random_uniform(n, 240, 4, 24, rng);
+}
+
+inline const std::vector<Family>& families() {
+  static const std::vector<Family> fams = {
+      {"uniform", make_uniform},   {"tall", make_tall},
+      {"wide", make_wide},         {"correlated", make_correlated},
+      {"perfect", make_perfect},   {"smart-grid", make_smartgrid},
+      {"sparse", make_sparse},
+  };
+  return fams;
+}
+
+inline double ratio(Height achieved, Height reference) {
+  return reference == 0 ? 0.0
+                        : static_cast<double>(achieved) /
+                              static_cast<double>(reference);
+}
+
+}  // namespace dsp::bench

@@ -1,0 +1,83 @@
+// E1 — paper Fig. 1 / Bladek et al. [2]: the 5/4 integrality gap between
+// contiguous strip packing and demand (sliced) strip packing.
+//
+// Rows: the certified gap instance, its replications (where the measured
+// finding is that mixing erases the gap), and random small instances with
+// exact gaps, reporting the distribution of OPT_SP / OPT_DSP.
+
+#include "bench_common.hpp"
+#include "exact/dsp_exact.hpp"
+#include "exact/sp_exact.hpp"
+#include "gen/gap.hpp"
+
+int main() {
+  using namespace dsp;
+  std::cout << "E1: integrality gap OPT_SP / OPT_DSP (paper Fig. 1)\n\n";
+
+  Table table({"instance", "n", "W", "OPT_DSP", "OPT_SP", "gap"});
+  {
+    const Instance inst = gen::gap_instance();
+    const auto d = exact::min_peak(inst);
+    const auto s = exact::sp_min_height(inst);
+    table.begin_row()
+        .cell("gap-instance")
+        .cell(inst.size())
+        .cell(inst.strip_width())
+        .cell(d.peak)
+        .cell(s.height)
+        .cell(bench::ratio(s.height, d.peak), 4);
+  }
+  for (const std::size_t copies : {2ul, 3ul}) {
+    const Instance inst = gen::gap_instance_replicated(copies);
+    exact::Limits limits;
+    limits.max_seconds = 20.0;
+    const auto d = exact::decide_peak(inst, 4, limits);
+    const auto s = exact::sp_decide_height(inst, 4, limits);
+    table.begin_row()
+        .cell("gap x" + std::to_string(copies))
+        .cell(inst.size())
+        .cell(inst.strip_width())
+        .cell(d.status == exact::SearchStatus::kProvedFeasible ? "4" : "?")
+        .cell(s.status == exact::SearchStatus::kProvedFeasible
+                  ? "4 (gap erased)"
+                  : (s.status == exact::SearchStatus::kProvedInfeasible ? ">4"
+                                                                        : "?"))
+        .cell(s.status == exact::SearchStatus::kProvedFeasible ? 1.0 : 0.0, 2);
+  }
+
+  // Random-instance gap distribution (exact on both sides).
+  Rng rng(1);
+  int measured = 0;
+  double max_gap = 0.0;
+  double sum_gap = 0.0;
+  exact::Limits limits;
+  limits.max_seconds = 1.0;
+  for (int round = 0; round < 120 && measured < 60; ++round) {
+    const Length w = rng.uniform(4, 7);
+    const Instance inst = gen::random_uniform(
+        static_cast<std::size_t>(rng.uniform(3, 7)), w, std::min<Length>(5, w),
+        4, rng);
+    const auto d = exact::min_peak(inst, limits);
+    const auto s = exact::sp_min_height(inst, limits);
+    if (!d.proven_optimal || !s.proven_optimal) continue;
+    ++measured;
+    const double g = bench::ratio(s.height, d.peak);
+    max_gap = std::max(max_gap, g);
+    sum_gap += g;
+  }
+  table.begin_row()
+      .cell("random (n<=6, exact)")
+      .cell(std::to_string(measured) + " inst")
+      .cell("4-7")
+      .cell("-")
+      .cell("-")
+      .cell(std::string("avg ") + std::to_string(sum_gap / measured) +
+            " max " + std::to_string(max_gap));
+  table.print(std::cout);
+  std::cout << "\npaper: a family with gap exactly 5/4 exists [2]; certified "
+               "here on the gap instance.\n"
+            << "measured finding: replication erases the gap (contiguous "
+               "packings mix copies), matching the need for [2]'s bespoke "
+               "family.\n";
+  return 0;
+}

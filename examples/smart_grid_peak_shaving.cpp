@@ -1,0 +1,60 @@
+// Smart-grid peak shaving (the paper's §1 motivation): shiftable appliance
+// runs over one day (96 slots of 15 minutes) are scheduled to minimize the
+// peak load on the feeder.
+//
+// Compares a naive "start everything when requested" schedule against the
+// baseline portfolio and the (5/4+eps) algorithm, and reports the peak
+// reduction (in 100 W units).
+
+#include <iostream>
+
+#include "algo/portfolio.hpp"
+#include "approx/solve54.hpp"
+#include "core/bounds.hpp"
+#include "gen/smart_grid.hpp"
+#include "util/prng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace dsp;
+  Rng rng(2024);
+
+  Table table({"households", "naive peak", "portfolio", "(5/4+eps)",
+               "lower bound", "shaved"});
+  for (const std::size_t appliances : {20ul, 60ul, 120ul}) {
+    const Instance instance = gen::smart_grid(appliances, 96, rng);
+
+    // Naive: every appliance starts the moment its owner presses the
+    // button — a random arrival in its feasible window.
+    Packing naive;
+    for (const Item& item : instance.items()) {
+      naive.start.push_back(
+          rng.uniform(0, instance.strip_width() - item.width));
+    }
+    const Height naive_peak = peak_height(instance, naive);
+
+    std::string winner;
+    const Packing shifted = algo::best_of_portfolio(instance, &winner);
+    const Height shifted_peak = peak_height(instance, shifted);
+
+    const approx::Approx54Result tuned = approx::solve54(instance);
+
+    const Height lb = combined_lower_bound(instance);
+    const double shaved =
+        100.0 * (1.0 - static_cast<double>(tuned.peak) /
+                           static_cast<double>(naive_peak));
+    table.begin_row()
+        .cell(appliances)
+        .cell(naive_peak)
+        .cell(shifted_peak)
+        .cell(tuned.peak)
+        .cell(lb)
+        .cell(shaved, 1);
+  }
+  std::cout << "Peak load (units of 100 W) on one day at 15-minute "
+               "resolution:\n";
+  table.print(std::cout);
+  std::cout << "\n'shaved' = % peak reduction of the (5/4+eps) schedule vs "
+               "naive starts.\n";
+  return 0;
+}

@@ -1,0 +1,40 @@
+#include "algo/portfolio.hpp"
+
+#include "algo/baselines.hpp"
+#include "util/check.hpp"
+
+namespace dsp::algo {
+
+const std::vector<NamedAlgorithm>& baseline_portfolio() {
+  static const std::vector<NamedAlgorithm> portfolio = {
+      {"greedy-h", [](const Instance& in) { return greedy_lowest_peak(in, ItemOrder::kDecreasingHeight); }},
+      {"greedy-area", [](const Instance& in) { return greedy_lowest_peak(in, ItemOrder::kDecreasingArea); }},
+      {"greedy-w", [](const Instance& in) { return greedy_lowest_peak(in, ItemOrder::kDecreasingWidth); }},
+      {"first-fit", [](const Instance& in) { return first_fit_search(in); }},
+      {"nfdh", [](const Instance& in) { return nfdh_dsp(in); }},
+      {"ffdh", [](const Instance& in) { return ffdh_dsp(in); }},
+      {"sleator", [](const Instance& in) { return sleator_dsp(in); }},
+      {"bottom-left", [](const Instance& in) { return bottom_left_dsp(in); }},
+  };
+  return portfolio;
+}
+
+Packing best_of_portfolio(const Instance& instance, std::string* winner) {
+  DSP_REQUIRE(instance.size() > 0, "best_of_portfolio on empty instance");
+  Packing best;
+  Height best_peak = 0;
+  bool first = true;
+  for (const NamedAlgorithm& algorithm : baseline_portfolio()) {
+    Packing candidate = algorithm.run(instance);
+    const Height peak = peak_height(instance, candidate);
+    if (first || peak < best_peak) {
+      best = std::move(candidate);
+      best_peak = peak;
+      if (winner) *winner = algorithm.name;
+      first = false;
+    }
+  }
+  return best;
+}
+
+}  // namespace dsp::algo

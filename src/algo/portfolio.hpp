@@ -1,0 +1,27 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/packing.hpp"
+
+namespace dsp::algo {
+
+/// A named DSP algorithm, for the ratio experiments (E12) and for witness
+/// generation inside the (5/4+eps) pipeline (DESIGN.md substitution 4).
+struct NamedAlgorithm {
+  std::string name;
+  std::function<Packing(const Instance&)> run;
+};
+
+/// All general-purpose baselines (the equal-width folding is excluded: it
+/// only accepts uniform widths and is benchmarked separately).
+[[nodiscard]] const std::vector<NamedAlgorithm>& baseline_portfolio();
+
+/// Runs the whole portfolio and returns the packing with the lowest peak.
+/// If `winner` is non-null it receives the winning algorithm's name.
+[[nodiscard]] Packing best_of_portfolio(const Instance& instance,
+                                        std::string* winner = nullptr);
+
+}  // namespace dsp::algo

@@ -1,0 +1,341 @@
+#include "approx/boxkit.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace dsp::approx {
+
+namespace {
+
+bool x_overlap(const TallItem& a, const TallItem& b) {
+  return a.x < b.x + b.width && b.x < a.x + a.width;
+}
+
+/// Groups placed items into maximal x-adjacent runs of equal (y, height):
+/// the sub-box counting unit of the lemmas.  Runs are tracked per layer so
+/// interleaved items of another layer do not break them.
+std::vector<SubBox> group_runs(std::vector<TallItem> items) {
+  std::sort(items.begin(), items.end(),
+            [](const TallItem& a, const TallItem& b) { return a.x < b.x; });
+  std::vector<SubBox> boxes;
+  std::map<std::pair<Height, Height>, std::size_t> open;  // (y, h) -> run
+  for (const TallItem& it : items) {
+    const auto key = std::make_pair(it.y, it.height);
+    const auto found = open.find(key);
+    if (found != open.end() &&
+        boxes[found->second].x + boxes[found->second].width == it.x) {
+      boxes[found->second].width += it.width;
+    } else {
+      open[key] = boxes.size();
+      boxes.push_back(SubBox{it.x, it.width, it.y, it.height});
+    }
+  }
+  return boxes;
+}
+
+}  // namespace
+
+std::optional<std::string> verify_tall_layout(const std::vector<TallItem>& tall,
+                                              Length width, Height height) {
+  for (std::size_t i = 0; i < tall.size(); ++i) {
+    const TallItem& a = tall[i];
+    if (a.x < 0 || a.x + a.width > width || a.y < 0 || a.y + a.height > height) {
+      std::ostringstream oss;
+      oss << "tall item " << i << " outside the box";
+      return oss.str();
+    }
+    for (std::size_t j = i + 1; j < tall.size(); ++j) {
+      const TallItem& b = tall[j];
+      if (x_overlap(a, b) && a.y < b.y + b.height && b.y < a.y + a.height) {
+        std::ostringstream oss;
+        oss << "tall items " << i << " and " << j << " overlap";
+        return oss.str();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+ReorderResult reorder_single_layer(const TallBox& box) {
+  // Immovable items must hug a border: the lemma's border-overlap case.
+  Length left_edge = 0;
+  Length right_edge = box.width;
+  std::vector<TallItem> immovable;
+  std::vector<TallItem> movable;
+  for (const TallItem& it : box.tall) {
+    DSP_REQUIRE(it.height <= box.height, "tall item taller than its box");
+    if (it.immovable) {
+      DSP_REQUIRE(it.x == 0 || it.x + it.width == box.width,
+                  "immovable items must touch a box border (Lemma 6)");
+      immovable.push_back(it);
+      if (it.x == 0) left_edge = std::max(left_edge, it.width);
+      if (it.x + it.width == box.width) {
+        right_edge = std::min(right_edge, it.x);
+      }
+    } else {
+      movable.push_back(it);
+    }
+  }
+  // Movable slices sorted by non-increasing height, packed left to right
+  // starting after the left immovable item, all sliced to the bottom.
+  std::sort(movable.begin(), movable.end(),
+            [](const TallItem& a, const TallItem& b) {
+              if (a.height != b.height) return a.height > b.height;
+              return a.width > b.width;
+            });
+  Length cursor = left_edge;
+  for (TallItem& it : movable) {
+    it.x = cursor;
+    it.y = 0;
+    cursor += it.width;
+  }
+  DSP_REQUIRE(cursor <= right_edge,
+              "tall items exceed the box width: the input box was infeasible");
+  for (TallItem& it : immovable) it.y = 0;  // sliced to the bottom as well
+
+  ReorderResult result;
+  result.tall = movable;
+  result.tall.insert(result.tall.end(), immovable.begin(), immovable.end());
+  result.tall_boxes = group_runs(result.tall);
+  for (const TallItem& it : result.tall) {
+    result.used_height = std::max(result.used_height, it.y + it.height);
+  }
+  // Free boxes: above every tall run, plus the untouched span on the right.
+  for (const SubBox& run : result.tall_boxes) {
+    if (run.height < box.height) {
+      result.free_boxes.push_back(
+          SubBox{run.x, run.width, run.height, box.height - run.height});
+    }
+  }
+  if (cursor < right_edge) {
+    result.free_boxes.push_back(
+        SubBox{cursor, right_edge - cursor, 0, box.height});
+  }
+  return result;
+}
+
+ReorderResult reorder_two_layer(const TallBox& box, Height quarter_h) {
+  DSP_REQUIRE(quarter_h >= 1, "quarter_h must be positive");
+  for (const TallItem& it : box.tall) {
+    DSP_REQUIRE(!it.immovable,
+                "reorder_two_layer handles immovable-free boxes (see header)");
+    DSP_REQUIRE(it.height <= box.height, "tall item taller than its box");
+  }
+  DSP_REQUIRE(!verify_tall_layout(box.tall, box.width, box.height),
+              "input box placement is infeasible");
+
+  // Quarter-line assignment (Lemma 7): items crossing the lower line go to
+  // the bottom, items crossing only the upper line to the top.  An item
+  // between the lines shares its columns with at most one other tall item
+  // (their heights could not both fit otherwise) and takes the other side.
+  const Height low_line = quarter_h;
+  const Height high_line = box.height - quarter_h;
+  std::vector<TallItem> bottom;
+  std::vector<TallItem> top;
+  std::vector<const TallItem*> undecided;
+  for (const TallItem& it : box.tall) {
+    const bool crosses_low = it.y <= low_line && low_line < it.y + it.height;
+    const bool crosses_high = it.y <= high_line && high_line < it.y + it.height;
+    if (crosses_low) {
+      bottom.push_back(it);
+    } else if (crosses_high) {
+      top.push_back(it);
+    } else {
+      undecided.push_back(&it);
+    }
+  }
+  for (const TallItem* it : undecided) {
+    // Opposite side of any overlapping partner; bottom when alone.
+    bool partner_bottom = false;
+    bool has_partner = false;
+    for (const TallItem& b : bottom) {
+      if (x_overlap(*it, b)) {
+        has_partner = true;
+        partner_bottom = true;
+        break;
+      }
+    }
+    if (!has_partner) {
+      for (const TallItem& t : top) {
+        if (x_overlap(*it, t)) {
+          has_partner = true;
+          break;
+        }
+      }
+    }
+    if (!has_partner || !partner_bottom) {
+      bottom.push_back(*it);
+    } else {
+      top.push_back(*it);
+    }
+  }
+
+  // Bottom ascending, top descending, left to right (Nadiradze-Wiese order,
+  // quoted in the lemma's border-free case).
+  std::sort(bottom.begin(), bottom.end(),
+            [](const TallItem& a, const TallItem& b) {
+              if (a.height != b.height) return a.height < b.height;
+              return a.width < b.width;
+            });
+  std::sort(top.begin(), top.end(), [](const TallItem& a, const TallItem& b) {
+    if (a.height != b.height) return a.height > b.height;
+    return a.width > b.width;
+  });
+  Length cursor = 0;
+  for (TallItem& it : bottom) {
+    it.x = cursor;
+    it.y = 0;
+    cursor += it.width;
+  }
+  DSP_REQUIRE(cursor <= box.width, "bottom layer exceeds the box width");
+  cursor = 0;
+  for (TallItem& it : top) {
+    it.x = cursor;
+    it.y = box.height - it.height;
+    cursor += it.width;
+  }
+  DSP_REQUIRE(cursor <= box.width, "top layer exceeds the box width");
+
+  ReorderResult result;
+  result.tall = bottom;
+  result.tall.insert(result.tall.end(), top.begin(), top.end());
+  const auto error = verify_tall_layout(result.tall, box.width, box.height);
+  DSP_REQUIRE(!error, "Lemma 7 reorder produced an overlap (" << *error
+                      << "): the input box must have been infeasible");
+  result.tall_boxes = group_runs(result.tall);
+  result.used_height = box.height;
+  return result;
+}
+
+std::optional<ReorderResult> reorder_three_layer(const TallBox& box,
+                                                 Height quarter_h) {
+  DSP_REQUIRE(quarter_h >= 1, "quarter_h must be positive");
+  if (verify_tall_layout(box.tall, box.width, box.height)) return std::nullopt;
+  const Height extended = box.height + quarter_h;
+  const Height lines[3] = {quarter_h, box.height / 2, box.height - quarter_h};
+
+  // Machine requirement per item: the contiguous set of lines it crosses in
+  // the input placement (at least one line by the tall-height argument of
+  // Lemma 8; fall back to the nearest line otherwise).
+  const std::size_t n = box.tall.size();
+  std::vector<int> first_line(n), machine_count(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const TallItem& it = box.tall[i];
+    int first = -1;
+    int count = 0;
+    for (int k = 0; k < 3; ++k) {
+      if (it.y <= lines[k] && lines[k] < it.y + it.height) {
+        if (first < 0) first = k;
+        ++count;
+      }
+    }
+    if (first < 0) {
+      // Crosses no line: snap to the nearest one.
+      const Height mid = it.y + it.height / 2;
+      first = 0;
+      for (int k = 1; k < 3; ++k) {
+        if (std::abs(lines[k] - mid) < std::abs(lines[first] - mid)) first = k;
+      }
+      count = 1;
+    }
+    first_line[i] = first;
+    machine_count[i] = count;
+  }
+
+  // Backtracking search for contiguous machine runs such that x-overlapping
+  // items use disjoint machines — the executable form of the paper's swap
+  // argument.  Items are processed left to right.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return box.tall[a].x < box.tall[b].x;
+  });
+  std::vector<int> run_start(n, -1);  // chosen first machine per item
+  std::uint64_t nodes = 0;
+  constexpr std::uint64_t kNodeCap = 2'000'000;
+
+  auto conflicts = [&](std::size_t i, int start) {
+    const int end = start + machine_count[i];  // exclusive
+    for (std::size_t j = 0; j < n; ++j) {
+      if (run_start[j] < 0 || j == i) continue;
+      if (!x_overlap(box.tall[i], box.tall[j])) continue;
+      const int js = run_start[j];
+      const int je = js + machine_count[j];
+      if (start < je && js < end) return true;
+    }
+    return false;
+  };
+
+  auto search = [&](auto&& self, std::size_t depth) -> bool {
+    if (depth == n) return true;
+    if (++nodes > kNodeCap) return false;
+    const std::size_t i = order[depth];
+    // Prefer the run the item already crosses, then the alternatives.
+    std::vector<int> candidates;
+    const int preferred =
+        std::min(first_line[i], 3 - machine_count[i]);
+    candidates.push_back(preferred);
+    for (int s = 0; s + machine_count[i] <= 3; ++s) {
+      if (s != preferred) candidates.push_back(s);
+    }
+    for (const int s : candidates) {
+      if (conflicts(i, s)) continue;
+      run_start[i] = s;
+      if (self(self, depth + 1)) return true;
+      run_start[i] = -1;
+    }
+    return false;
+  };
+  if (!search(search, 0)) return std::nullopt;
+
+  // Geometric realization in the extended box: runs touching machine 0 go to
+  // the bottom, runs touching machine 2 (but not 0) hang from the extended
+  // top, pure-middle runs are placed above their bottom neighbours.
+  ReorderResult result;
+  result.tall = box.tall;
+  std::vector<std::size_t> middles;
+  for (std::size_t i = 0; i < n; ++i) {
+    TallItem& it = result.tall[i];
+    const int s = run_start[i];
+    const int e = s + machine_count[i];
+    if (s == 0) {
+      it.y = 0;
+    } else if (e == 3) {
+      it.y = extended - it.height;
+    } else {
+      middles.push_back(i);
+    }
+  }
+  for (const std::size_t i : middles) {
+    TallItem& it = result.tall[i];
+    Height floor_y = 0;
+    Height ceil_y = extended;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i || run_start[j] < 0) continue;
+      if (!x_overlap(box.tall[i], box.tall[j])) continue;
+      const int s = run_start[j];
+      const int e = s + machine_count[j];
+      if (s == 0) floor_y = std::max(floor_y, result.tall[j].height);
+      if (e == 3 && s != 0) {
+        ceil_y = std::min(ceil_y, result.tall[j].y);
+      }
+    }
+    if (floor_y + it.height > ceil_y) return std::nullopt;
+    it.y = floor_y;
+  }
+  if (auto err = verify_tall_layout(result.tall, box.width, extended)) {
+    return std::nullopt;
+  }
+  result.tall_boxes = group_runs(result.tall);
+  result.used_height = 0;
+  for (const TallItem& it : result.tall) {
+    result.used_height = std::max(result.used_height, it.y + it.height);
+  }
+  return result;
+}
+
+}  // namespace dsp::approx

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+
+namespace dsp::approx {
+
+/// Executable forms of the paper's box-restructuring lemmas (6, 7, 8).
+///
+/// The lemmas transform the *contents of one box* of the partitioned optimal
+/// packing: tall items are unsliced rectangles with x-positions inside the
+/// box; vertical items are sliceable and therefore treated as fluid mass
+/// (the paper fuses them into pseudo items; their final integral placement
+/// is the job of the Lemma-10 configuration LP).  Experiment E10 runs these
+/// routines on randomized feasible boxes and checks the lemmas' guarantees:
+/// no overlaps, bounded sub-box counts, bounded height growth.
+
+/// A tall item inside a box: an unsliced rectangle at position (x, y).
+/// On input, (x, y) is the item's placement in the original (witness/optimal)
+/// box; on output it is the restructured placement.
+struct TallItem {
+  Length width = 0;
+  Height height = 0;
+  Length x = 0;
+  Height y = 0;
+  bool immovable = false;  ///< overlaps a box border; must not move
+};
+
+/// A box of the partition B_{T u V}: width, height, tall items, and the
+/// total area of (fluid) vertical items that live in it.
+struct TallBox {
+  Length width = 0;
+  Height height = 0;
+  std::vector<TallItem> tall;
+  std::int64_t vertical_area = 0;
+};
+
+/// A maximal run of equal-height tall items after restructuring: one
+/// "sub-box" in the lemmas' counting.
+struct SubBox {
+  Length x = 0;
+  Length width = 0;
+  Height y = 0;
+  Height height = 0;
+};
+
+struct ReorderResult {
+  std::vector<TallItem> tall;       ///< repositioned tall items
+  std::vector<SubBox> tall_boxes;   ///< grouped runs for tall items
+  std::vector<SubBox> free_boxes;   ///< leftover space usable by verticals
+  Height used_height = 0;           ///< max y + h over tall items
+};
+
+/// Checks that no two tall items overlap and all lie inside width x height.
+/// Returns an explanation of the first violation, or nullopt.
+[[nodiscard]] std::optional<std::string> verify_tall_layout(
+    const std::vector<TallItem>& tall, Length width, Height height);
+
+/// Lemma 6: boxes with height in (1/4 H', 1/2 H'] — at most one tall item
+/// per column.  Slices every tall item to the bottom and sorts the movable
+/// ones by non-increasing height (immovable border items stay in place).
+/// Guarantees: valid layout; number of tall sub-boxes <= #distinct movable
+/// heights + #immovable items; free boxes cover the remaining area.
+[[nodiscard]] ReorderResult reorder_single_layer(const TallBox& box);
+
+/// Lemma 7: boxes with height in (1/2 H', 3/4 H'] — at most two tall items
+/// per column.  Assigns items to top/bottom via the quarter-lines rule, then
+/// sorts bottom items ascending and top items descending (left to right).
+/// Requires immovable-free boxes (the paper's border-item iteration is
+/// subsumed by the search in Lemma 8's assignment; see DESIGN.md).
+/// Guarantees: valid layout; sub-box count <= #distinct bottom heights +
+/// #distinct top heights.
+[[nodiscard]] ReorderResult reorder_two_layer(const TallBox& box,
+                                              Height quarter_h);
+
+/// Lemma 8 + Lemma 9 (step 1): boxes with height in (3/4 H', H'] — up to
+/// three tall items per column.  Computes the three-line assignment via the
+/// 3-machine scheduling transformation (contiguous machine runs found by
+/// backtracking — the executable form of the paper's swap argument) and
+/// realizes it geometrically after extending the box height by quarter_h
+/// (the paper's +1/4 H' extension).
+/// Returns nullopt if the input box was not feasible to begin with.
+[[nodiscard]] std::optional<ReorderResult> reorder_three_layer(
+    const TallBox& box, Height quarter_h);
+
+}  // namespace dsp::approx

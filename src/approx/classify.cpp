@@ -1,0 +1,135 @@
+#include "approx/classify.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace dsp::approx {
+
+std::string to_string(Category category) {
+  switch (category) {
+    case Category::kLarge:
+      return "L";
+    case Category::kTall:
+      return "T";
+    case Category::kVertical:
+      return "V";
+    case Category::kMediumVertical:
+      return "Mv";
+    case Category::kHorizontal:
+      return "H";
+    case Category::kSmall:
+      return "S";
+    case Category::kMedium:
+      return "M";
+  }
+  return "?";
+}
+
+std::vector<std::size_t> Classification::of(Category c) const {
+  std::vector<std::size_t> indices;
+  for (std::size_t i = 0; i < category.size(); ++i) {
+    if (category[i] == c) indices.push_back(i);
+  }
+  return indices;
+}
+
+std::int64_t Classification::area_of(Category c, const Instance& instance) const {
+  std::int64_t area = 0;
+  for (std::size_t i = 0; i < category.size(); ++i) {
+    if (category[i] == c) area += instance.item(i).area();
+  }
+  return area;
+}
+
+Classification classify(const Instance& instance, Height h_guess,
+                        const Fraction& epsilon, const Fraction& delta,
+                        const Fraction& mu) {
+  DSP_REQUIRE(h_guess >= 1, "height guess must be positive");
+  DSP_REQUIRE(epsilon > Fraction(0) && epsilon <= Fraction(1, 2),
+              "epsilon must be in (0, 1/2]");
+  DSP_REQUIRE(mu <= delta && delta <= epsilon, "need mu <= delta <= epsilon");
+
+  Classification cls;
+  cls.epsilon = epsilon;
+  cls.delta = delta;
+  cls.mu = mu;
+  cls.h_guess = h_guess;
+  const Length w = instance.strip_width();
+  cls.delta_w = floor_mul(w, delta);
+  cls.mu_w = floor_mul(w, mu);
+  cls.delta_h = floor_mul(h_guess, delta);
+  cls.mu_h = floor_mul(h_guess, mu);
+  cls.eps_h = floor_mul(h_guess, epsilon);
+  cls.tall_h = ceil_mul(h_guess, Fraction(1, 4) + epsilon);
+
+  cls.category.resize(instance.size());
+  for (std::size_t i = 0; i < instance.size(); ++i) {
+    const Item& it = instance.item(i);
+    Category c;
+    if (it.width >= std::max<Length>(1, cls.delta_w)) {
+      // Wide: L / M / H by height.
+      if (it.height > cls.delta_h) {
+        c = Category::kLarge;
+      } else if (it.height > cls.mu_h) {
+        c = Category::kMedium;
+      } else {
+        c = Category::kHorizontal;
+      }
+    } else if (it.width > cls.mu_w) {
+      // Mid width: T / Mv / M by height.
+      if (it.height >= cls.tall_h) {
+        c = Category::kTall;
+      } else if (it.height >= cls.eps_h && cls.eps_h >= 1) {
+        c = Category::kMediumVertical;
+      } else {
+        c = Category::kMedium;
+      }
+    } else {
+      // Narrow: T / V / M / S by height.
+      if (it.height >= cls.tall_h) {
+        c = Category::kTall;
+      } else if (it.height >= std::max<Height>(1, cls.delta_h)) {
+        c = Category::kVertical;
+      } else if (it.height > cls.mu_h) {
+        c = Category::kMedium;
+      } else {
+        c = Category::kSmall;
+      }
+    }
+    cls.category[i] = c;
+  }
+  return cls;
+}
+
+Classification select_parameters(const Instance& instance, Height h_guess,
+                                 const Fraction& epsilon, int ladder_length) {
+  DSP_REQUIRE(ladder_length >= 1, "ladder_length must be >= 1");
+  bool have_best = false;
+  Classification best;
+  std::int64_t best_medium_area = 0;
+  Fraction delta = epsilon;
+  for (int j = 0; j < ladder_length; ++j) {
+    const Fraction mu = delta * epsilon;
+    Classification cls = classify(instance, h_guess, epsilon, delta, mu);
+    const std::int64_t medium_area =
+        cls.area_of(Category::kMedium, instance) +
+        cls.area_of(Category::kMediumVertical, instance);
+    if (!have_best || medium_area < best_medium_area) {
+      best = std::move(cls);
+      best_medium_area = medium_area;
+      have_best = true;
+    }
+    if (best_medium_area == 0) break;  // cannot improve
+    delta = mu;
+    // Once the integer thresholds collapse to zero, deeper rungs classify
+    // identically; stop early.
+    if (floor_mul(instance.strip_width(), mu) == 0 &&
+        floor_mul(h_guess, mu) == 0) {
+      break;
+    }
+  }
+  return best;
+}
+
+}  // namespace dsp::approx

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "util/fraction.hpp"
+
+namespace dsp::approx {
+
+/// Item categories of the (5/4+eps) algorithm, paper Fig. 5 / step 3.
+/// The published category predicates overlap slightly (M_v is given the same
+/// width bound as V); we use the disjoint refinement below, which matches
+/// Fig. 5's picture, and document it in DESIGN.md:
+///
+///   wide (w >= delta*W):        L (h > delta*H'), M (mu*H' < h <= delta*H'),
+///                               H (h <= mu*H')
+///   mid  (mu*W < w < delta*W):  T (h >= (1/4+eps)*H'),
+///                               M_v (eps*H' <= h < (1/4+eps)*H'),
+///                               M (h < eps*H')
+///   narrow (w <= mu*W):         T (h >= (1/4+eps)*H'),
+///                               V (delta*H' <= h < (1/4+eps)*H'),
+///                               M (mu*H' < h < delta*H'), S (h <= mu*H')
+enum class Category {
+  kLarge,           ///< L
+  kTall,            ///< T
+  kVertical,        ///< V
+  kMediumVertical,  ///< M_v
+  kHorizontal,      ///< H
+  kSmall,           ///< S
+  kMedium,          ///< M
+};
+
+[[nodiscard]] std::string to_string(Category category);
+
+/// The classification of one instance for a given height guess H' and
+/// parameter pair (delta, mu).
+struct Classification {
+  Fraction epsilon;
+  Fraction delta;
+  Fraction mu;
+  Height h_guess = 0;  ///< H'
+  std::vector<Category> category;  ///< per item index
+
+  /// Exact integer thresholds used (floor of the fractional bounds).
+  Length delta_w = 0;
+  Length mu_w = 0;
+  Height delta_h = 0;
+  Height mu_h = 0;
+  Height eps_h = 0;
+  Height tall_h = 0;  ///< ceil((1/4+eps) * H')
+
+  [[nodiscard]] std::vector<std::size_t> of(Category c) const;
+  [[nodiscard]] std::int64_t area_of(Category c,
+                                     const Instance& instance) const;
+};
+
+/// Classifies all items for fixed (delta, mu) — the predicate table above.
+[[nodiscard]] Classification classify(const Instance& instance, Height h_guess,
+                                      const Fraction& epsilon,
+                                      const Fraction& delta, const Fraction& mu);
+
+/// Lemma 2 (pigeonhole ladder): tries the pairs
+/// (delta, mu) = (eps^{j+1}, eps^{j+2}) for j = 0..ladder_length-1 and
+/// returns the classification minimizing the total area of M plus M_v.
+/// Consecutive bands are disjoint, so each item is medium for at most one
+/// height band and one width band; the best band therefore has medium area
+/// at most 2 * area(I) / ladder_length.  (The paper's doubly-exponential
+/// schedule yields unrepresentable deltas; see DESIGN.md substitution 3.)
+[[nodiscard]] Classification select_parameters(const Instance& instance,
+                                               Height h_guess,
+                                               const Fraction& epsilon,
+                                               int ladder_length = 6);
+
+}  // namespace dsp::approx

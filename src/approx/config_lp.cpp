@@ -1,0 +1,188 @@
+#include "approx/config_lp.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "lp/simplex.hpp"
+#include "util/check.hpp"
+
+namespace dsp::approx {
+
+namespace {
+
+/// A configuration: count per height class (indexed as in `heights`).
+using Config = std::vector<int>;
+
+/// Enumerates multisets of heights with total <= capacity (including the
+/// empty configuration), capped at max_configs.
+std::vector<Config> enumerate_configs(const std::vector<Height>& heights,
+                                      Height capacity,
+                                      std::size_t max_configs) {
+  std::vector<Config> configs;
+  Config current(heights.size(), 0);
+  // DFS over classes; heights sorted descending keeps recursion shallow.
+  auto dfs = [&](auto&& self, std::size_t cls, Height remaining) -> void {
+    if (configs.size() >= max_configs) return;
+    if (cls == heights.size()) {
+      configs.push_back(current);
+      return;
+    }
+    const int max_count =
+        heights[cls] > 0 ? static_cast<int>(remaining / heights[cls]) : 0;
+    // Try denser stacks first so truncation keeps the useful columns.
+    for (int c = max_count; c >= 0; --c) {
+      current[cls] = c;
+      self(self, cls + 1, remaining - static_cast<Height>(c) * heights[cls]);
+      if (configs.size() >= max_configs) break;
+    }
+    current[cls] = 0;
+  };
+  dfs(dfs, 0, capacity);
+  return configs;
+}
+
+}  // namespace
+
+VerticalFillResult fill_vertical_items(const Instance& instance,
+                                       const std::vector<std::size_t>& items,
+                                       const RoundedHeights& rounding,
+                                       const std::vector<GapBox>& boxes,
+                                       std::size_t max_configs) {
+  VerticalFillResult result;
+  result.start.assign(items.size(), -1);
+  if (items.empty()) {
+    result.lp_solved = true;
+    return result;
+  }
+  if (boxes.empty()) {
+    for (std::size_t k = 0; k < items.size(); ++k) result.overflow.push_back(k);
+    return result;
+  }
+
+  // Height classes (rounded, descending) with their total true width.
+  std::vector<Height> heights;
+  for (const std::size_t i : items) heights.push_back(rounding.rounded[i]);
+  std::sort(heights.begin(), heights.end(), std::greater<>());
+  heights.erase(std::unique(heights.begin(), heights.end()), heights.end());
+  std::vector<double> class_width(heights.size(), 0.0);
+  const auto class_of = [&](std::size_t k) {
+    const Height h = rounding.rounded[items[k]];
+    return static_cast<std::size_t>(
+        std::lower_bound(heights.begin(), heights.end(), h, std::greater<>()) -
+        heights.begin());
+  };
+  for (std::size_t k = 0; k < items.size(); ++k) {
+    class_width[class_of(k)] +=
+        static_cast<double>(instance.item(items[k]).width);
+  }
+
+  // Configurations per distinct capacity.
+  std::map<Height, std::vector<Config>> configs_by_capacity;
+  const std::size_t per_capacity =
+      std::max<std::size_t>(16, max_configs / std::max<std::size_t>(
+                                                  1, boxes.size()));
+  for (const GapBox& box : boxes) {
+    if (!configs_by_capacity.contains(box.capacity)) {
+      configs_by_capacity[box.capacity] =
+          enumerate_configs(heights, box.capacity, per_capacity);
+    }
+  }
+
+  // Build the LP: one column per (box, config) pair.
+  struct Column {
+    std::size_t box;
+    const Config* config;
+  };
+  std::vector<Column> columns;
+  for (std::size_t b = 0; b < boxes.size(); ++b) {
+    for (const Config& c : configs_by_capacity[boxes[b].capacity]) {
+      columns.push_back(Column{b, &c});
+    }
+  }
+  result.configurations = columns.size();
+
+  const std::size_t rows = boxes.size() + heights.size();
+  lp::LpProblem problem;
+  problem.a.assign(rows, std::vector<double>(columns.size(), 0.0));
+  problem.b.assign(rows, 0.0);
+  problem.c.assign(columns.size(), 0.0);
+  for (std::size_t j = 0; j < columns.size(); ++j) {
+    const Column& col = columns[j];
+    problem.a[col.box][j] = 1.0;
+    Height used = 0;
+    for (std::size_t h = 0; h < heights.size(); ++h) {
+      problem.a[boxes.size() + h][j] = static_cast<double>((*col.config)[h]);
+      used += static_cast<Height>((*col.config)[h]) * heights[h];
+    }
+    // Objective: prefer tight configurations (minimize wasted capacity).
+    problem.c[j] = static_cast<double>(boxes[col.box].capacity - used);
+  }
+  for (std::size_t b = 0; b < boxes.size(); ++b) {
+    problem.b[b] = static_cast<double>(boxes[b].width);
+  }
+  for (std::size_t h = 0; h < heights.size(); ++h) {
+    problem.b[boxes.size() + h] = class_width[h];
+  }
+
+  const lp::LpSolution solution = lp::solve(problem);
+  if (solution.status != lp::LpStatus::kOptimal) {
+    for (std::size_t k = 0; k < items.size(); ++k) result.overflow.push_back(k);
+    return result;
+  }
+  result.lp_solved = true;
+
+  // Greedy integral filling of the basic solution: per box, lay the chosen
+  // configurations left to right; each lane (height class within a
+  // configuration) consumes items of its class until the lane is full, the
+  // first item not fitting entirely overflows (Lemma 10's extra boxes).
+  std::vector<std::vector<std::size_t>> queue(heights.size());
+  for (std::size_t k = 0; k < items.size(); ++k) {
+    queue[class_of(k)].push_back(k);
+  }
+  // Queues pop from the back; sort ascending so wider items are placed
+  // first, keeping the overflow items narrow.
+  for (auto& q : queue) {
+    std::sort(q.begin(), q.end(), [&](std::size_t a, std::size_t b) {
+      return instance.item(items[a]).width < instance.item(items[b]).width;
+    });
+  }
+  std::vector<Length> cursor(boxes.size());
+  for (std::size_t b = 0; b < boxes.size(); ++b) cursor[b] = boxes[b].x;
+  for (std::size_t j = 0; j < columns.size(); ++j) {
+    if (solution.x[j] <= 1e-9) continue;
+    ++result.nonzero_configs;
+    const Column& col = columns[j];
+    const GapBox& box = boxes[col.box];
+    const auto seg_width = static_cast<Length>(solution.x[j]);  // floor
+    const Length seg_begin =
+        std::min(cursor[col.box], box.x + box.width);
+    const Length seg_end = std::min(seg_begin + seg_width, box.x + box.width);
+    cursor[col.box] = seg_end;
+    if (seg_end <= seg_begin) continue;
+    for (std::size_t h = 0; h < heights.size(); ++h) {
+      for (int lane = 0; lane < (*col.config)[h]; ++lane) {
+        Length at = seg_begin;
+        while (at < seg_end && !queue[h].empty()) {
+          const std::size_t k = queue[h].back();
+          const Length w = instance.item(items[k]).width;
+          queue[h].pop_back();
+          if (at + w > seg_end) {
+            // The lemma's "last item overlaps the configuration border":
+            // it moves to an extra box and the lane is complete.
+            result.overflow.push_back(k);
+            break;
+          }
+          result.start[k] = at;
+          at += w;
+        }
+      }
+    }
+  }
+  for (const auto& q : queue) {
+    for (const std::size_t k : q) result.overflow.push_back(k);
+  }
+  return result;
+}
+
+}  // namespace dsp::approx

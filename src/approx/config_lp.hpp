@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "approx/rounding.hpp"
+
+namespace dsp::approx {
+
+/// A gap box available to vertical items: the free space above the already
+/// placed skeleton over the x-range [x, x+width), with `capacity` height
+/// available in every column (the B_P boxes of Lemma 10).
+struct GapBox {
+  Length x = 0;
+  Length width = 0;
+  Height capacity = 0;
+};
+
+/// Result of the Lemma-10 configuration-LP placement of vertical items.
+struct VerticalFillResult {
+  bool lp_solved = false;           ///< the configuration LP had a solution
+  std::size_t configurations = 0;   ///< columns generated for the LP
+  std::size_t nonzero_configs = 0;  ///< support of the basic solution
+  /// Start positions for placed items, parallel to the `items` argument
+  /// (-1 when the item overflowed its configuration).
+  std::vector<Length> start;
+  /// Indices (into the `items` argument) of overflow items — the contents of
+  /// the lemma's 7(|H_V| + |B_P|) extra boxes; the caller re-places them.
+  std::vector<std::size_t> overflow;
+};
+
+/// Lemma 10, executable form.  Configurations are multisets of rounded
+/// vertical heights stacking within a box's capacity; the LP
+///
+///    sum_C x_{C,B}           = width(B)        for every box B
+///    sum_{C,B} x_{C,B} a_hC  = total width(h)  for every rounded height h
+///    x >= 0
+///
+/// is solved with the dense simplex; the basic solution is filled greedily,
+/// letting the last item of each configuration lane overflow (those items
+/// land in `overflow`, mirroring the lemma's extra boxes).
+///
+/// `items` lists the vertical item indices of the instance; `max_configs`
+/// caps enumeration (DESIGN.md: the paper's constant is astronomically
+/// large; when the cap trims enumeration the LP may become infeasible and
+/// the caller falls back to first-fit).
+[[nodiscard]] VerticalFillResult fill_vertical_items(
+    const Instance& instance, const std::vector<std::size_t>& items,
+    const RoundedHeights& rounding, const std::vector<GapBox>& boxes,
+    std::size_t max_configs = 4096);
+
+}  // namespace dsp::approx

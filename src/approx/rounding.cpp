@@ -1,0 +1,55 @@
+#include "approx/rounding.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace dsp::approx {
+
+RoundedHeights round_heights(const Instance& instance, const Classification& cls) {
+  RoundedHeights result;
+  result.rounded.resize(instance.size());
+  result.grid.assign(instance.size(), 1);
+  const Height h_guess = cls.h_guess;
+  const Height threshold = std::max<Height>(1, cls.delta_h);
+  for (std::size_t i = 0; i < instance.size(); ++i) {
+    const Item& it = instance.item(i);
+    const Category c = cls.category[i];
+    const bool significant =
+        (c == Category::kLarge || c == Category::kTall ||
+         c == Category::kVertical || c == Category::kMediumVertical) &&
+        it.height >= threshold;
+    if (!significant) {
+      result.rounded[i] = it.height;
+      continue;
+    }
+    // Find the scale l with eps^l * H' <= h (l >= 0); grid = eps^{l+1} * H'.
+    Fraction scale = cls.epsilon;  // eps^{l+1}, starting at l = 0
+    Fraction level(1);             // eps^l
+    // Walk down scales until eps^l * H' <= h.
+    while (floor_mul(h_guess, level * cls.epsilon) > it.height) {
+      level = level * cls.epsilon;
+      scale = scale * cls.epsilon;
+      if (floor_mul(h_guess, scale) <= 1) break;
+    }
+    const Height grid = std::max<Height>(1, floor_mul(h_guess, scale));
+    result.grid[i] = grid;
+    result.rounded[i] = ((it.height + grid - 1) / grid) * grid;
+  }
+  return result;
+}
+
+std::vector<Height> distinct_rounded_heights(const Instance& instance,
+                                             const Classification& cls,
+                                             const RoundedHeights& rounding,
+                                             Category category) {
+  std::vector<Height> heights;
+  for (std::size_t i = 0; i < instance.size(); ++i) {
+    if (cls.category[i] == category) heights.push_back(rounding.rounded[i]);
+  }
+  std::sort(heights.begin(), heights.end(), std::greater<>());
+  heights.erase(std::unique(heights.begin(), heights.end()), heights.end());
+  return heights;
+}
+
+}  // namespace dsp::approx

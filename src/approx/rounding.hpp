@@ -1,0 +1,35 @@
+#pragma once
+
+#include <vector>
+
+#include "approx/classify.hpp"
+
+namespace dsp::approx {
+
+/// Lemma 3 height rounding: every item with significant height
+/// (h >= delta * H') is rounded up to a multiple of the grid
+/// eps^{l+1} * H', where l is the scale with eps^l * H' <= h <= eps^{l-1} * H'.
+/// Rounded heights take O(1/eps^2) distinct values per scale, which is what
+/// bounds the box counts in Lemmas 6-9.
+///
+/// Integrality note: the fractional grid eps^{l+1}*H' is clamped to at least
+/// 1 (all data here is integral); the "at loss of a factor (1+2eps)" bound
+/// of the lemma is preserved because rounding only ever adds less than one
+/// grid step below the stretched height.
+struct RoundedHeights {
+  /// Per item: the height used for reservation/grouping (>= true height);
+  /// equals the true height for items below the rounding threshold.
+  std::vector<Height> rounded;
+  /// Grid step per item (1 for unrounded items).
+  std::vector<Height> grid;
+};
+
+[[nodiscard]] RoundedHeights round_heights(const Instance& instance,
+                                           const Classification& cls);
+
+/// Distinct rounded heights of the given category, descending.
+[[nodiscard]] std::vector<Height> distinct_rounded_heights(
+    const Instance& instance, const Classification& cls,
+    const RoundedHeights& rounding, Category category);
+
+}  // namespace dsp::approx

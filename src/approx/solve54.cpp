@@ -1,0 +1,256 @@
+#include "approx/solve54.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <optional>
+
+#include "algo/portfolio.hpp"
+#include "approx/config_lp.hpp"
+#include "core/bounds.hpp"
+#include "core/occupancy.hpp"
+#include "util/check.hpp"
+
+namespace dsp::approx {
+
+namespace {
+
+struct AttemptOutcome {
+  Packing packing;
+  Height peak = 0;
+  bool within_budget = false;
+  Classification cls;
+  bool lp_used = false;
+  std::size_t lp_configurations = 0;
+  std::size_t lp_overflow = 0;
+};
+
+/// Sorts indices by non-increasing key.
+template <typename Key>
+std::vector<std::size_t> sorted_desc(const std::vector<std::size_t>& indices,
+                                     Key key) {
+  std::vector<std::size_t> order = indices;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return key(a) > key(b); });
+  return order;
+}
+
+/// Gap boxes of the current profile under `ceiling`: maximal x-runs of equal
+/// free capacity (Lemma 5's strips between box borders).  Merged down to
+/// `max_boxes` by dropping the narrowest runs into their neighbours with the
+/// smaller capacity kept (a conservative under-approximation of the space).
+std::vector<GapBox> gap_boxes_of_profile(const StripOccupancy& occupancy,
+                                         Height ceiling, Height min_height,
+                                         std::size_t max_boxes) {
+  std::vector<GapBox> boxes;
+  const Length w = occupancy.strip_width();
+  Length run_start = 0;
+  Height run_cap = ceiling - occupancy.load_at(0);
+  for (Length x = 1; x <= w; ++x) {
+    const Height cap = x < w ? ceiling - occupancy.load_at(x) : -1;
+    if (x == w || cap != run_cap) {
+      if (run_cap >= min_height) {
+        boxes.push_back(GapBox{run_start, x - run_start, run_cap});
+      }
+      run_start = x;
+      run_cap = cap;
+    }
+  }
+  while (boxes.size() > max_boxes) {
+    // Merge the narrowest box into its lower-capacity neighbour.
+    std::size_t narrow = 0;
+    for (std::size_t b = 1; b < boxes.size(); ++b) {
+      if (boxes[b].width < boxes[narrow].width) narrow = b;
+    }
+    const bool merge_left =
+        narrow > 0 && (narrow + 1 >= boxes.size() ||
+                       boxes[narrow - 1].x + boxes[narrow - 1].width ==
+                           boxes[narrow].x);
+    const std::size_t into = merge_left ? narrow - 1 : narrow + 1;
+    if (into >= boxes.size() ||
+        boxes[std::min(into, narrow)].x + boxes[std::min(into, narrow)].width !=
+            boxes[std::max(into, narrow)].x) {
+      // Not adjacent: just drop the narrow box (conservative).
+      boxes.erase(boxes.begin() + static_cast<std::ptrdiff_t>(narrow));
+      continue;
+    }
+    GapBox merged;
+    merged.x = boxes[std::min(into, narrow)].x;
+    merged.width = boxes[into].width + boxes[narrow].width;
+    merged.capacity = std::min(boxes[into].capacity, boxes[narrow].capacity);
+    boxes[std::min(into, narrow)] = merged;
+    boxes.erase(boxes.begin() + static_cast<std::ptrdiff_t>(
+                                    std::max(into, narrow)));
+  }
+  return boxes;
+}
+
+/// One attempt at the height guess h_guess (steps 3-6 of the algorithm).
+AttemptOutcome attempt(const Instance& instance, Height h_guess,
+                       const Approx54Params& params) {
+  AttemptOutcome outcome;
+  outcome.cls =
+      select_parameters(instance, h_guess, params.epsilon, params.ladder_length);
+  const Classification& cls = outcome.cls;
+  const RoundedHeights rounding = round_heights(instance, cls);
+  const Height budget =
+      ceil_mul(h_guess, Fraction(5, 4) + params.epsilon);
+
+  StripOccupancy occupancy(instance.strip_width());
+  Packing packing;
+  packing.start.assign(instance.size(), -1);
+  const auto place = [&](std::size_t i, Length x) {
+    packing.start[i] = x;
+    occupancy.add(x, instance.item(i).width, instance.item(i).height);
+  };
+  // First fit under the budget; falls back to the peak-minimizing position
+  // (the packing stays feasible; only the budget check may fail).
+  const auto place_first_fit = [&](std::size_t i) {
+    const Item& it = instance.item(i);
+    if (const auto x = occupancy.first_fit(it.width, it.height, budget)) {
+      place(i, *x);
+    } else {
+      place(i, occupancy.min_peak_position(it.width).start);
+    }
+  };
+
+  // Step 4 — skeleton: large and tall items, tallest (rounded) first.
+  std::vector<std::size_t> skeleton = cls.of(Category::kLarge);
+  {
+    const std::vector<std::size_t> tall = cls.of(Category::kTall);
+    skeleton.insert(skeleton.end(), tall.begin(), tall.end());
+  }
+  for (const std::size_t i : sorted_desc(skeleton, [&](std::size_t k) {
+         return rounding.rounded[k];
+       })) {
+    place_first_fit(i);
+  }
+
+  // Step 5a — vertical items via the Lemma-10 configuration LP.
+  const std::vector<std::size_t> vertical = cls.of(Category::kVertical);
+  if (!vertical.empty()) {
+    Height min_vertical = instance.item(vertical.front()).height;
+    for (const std::size_t i : vertical) {
+      min_vertical = std::min(min_vertical, instance.item(i).height);
+    }
+    const std::vector<GapBox> gaps = gap_boxes_of_profile(
+        occupancy, budget, min_vertical, params.max_gap_boxes);
+    const VerticalFillResult fill = fill_vertical_items(
+        instance, vertical, rounding, gaps, params.max_configs);
+    outcome.lp_used = fill.lp_solved;
+    outcome.lp_configurations = fill.configurations;
+    outcome.lp_overflow = fill.overflow.size();
+    for (std::size_t k = 0; k < vertical.size(); ++k) {
+      if (fill.start[k] >= 0) place(vertical[k], fill.start[k]);
+    }
+    // Overflow items: the extra boxes of Lemma 10, realized as first fit.
+    for (const std::size_t k : fill.overflow) place_first_fit(vertical[k]);
+  }
+
+  // Step 5b — horizontal items by non-increasing width (the stacking order
+  // of Lemma 11's width rounding).
+  for (const std::size_t i :
+       sorted_desc(cls.of(Category::kHorizontal),
+                   [&](std::size_t k) { return instance.item(k).width; })) {
+    place_first_fit(i);
+  }
+
+  // Step 5c — small items into the remaining gaps (Lemma 13).
+  for (const std::size_t i :
+       sorted_desc(cls.of(Category::kSmall),
+                   [&](std::size_t k) { return instance.item(k).area(); })) {
+    place_first_fit(i);
+  }
+
+  // Step 6 — discarded medium items on top (Lemma 14: NFDH order, wide
+  // first; their total area is small by Lemma 2).
+  std::vector<std::size_t> medium = cls.of(Category::kMedium);
+  {
+    const std::vector<std::size_t> mv = cls.of(Category::kMediumVertical);
+    medium.insert(medium.end(), mv.begin(), mv.end());
+  }
+  for (const std::size_t i : sorted_desc(medium, [&](std::size_t k) {
+         return instance.item(k).width;
+       })) {
+    const Item& it = instance.item(i);
+    // Peak-minimizing placement: equivalent to stacking in the flattest
+    // region; allowed to exceed the budget by the small medium area.
+    place(i, occupancy.min_peak_position(it.width).start);
+  }
+
+  outcome.peak = occupancy.peak();
+  // Success criterion: everything within (5/4 + eps) H' plus the medium
+  // allowance of Lemmas 13/14 (O(eps) H').
+  const Height allowance = ceil_mul(h_guess, params.epsilon * 2);
+  outcome.within_budget = outcome.peak <= budget + allowance;
+  outcome.packing = std::move(packing);
+  return outcome;
+}
+
+}  // namespace
+
+Approx54Result solve54(const Instance& instance, const Approx54Params& params) {
+  DSP_REQUIRE(instance.size() > 0, "solve54 on empty instance");
+  DSP_REQUIRE(params.epsilon > Fraction(0) && params.epsilon <= Fraction(1, 2),
+              "epsilon must be in (0, 1/2]");
+  Approx54Result result;
+  Approx54Report& report = result.report;
+
+  // Step 1: bounds.  The witness doubles as the fallback packing.
+  report.lower_bound = combined_lower_bound(instance);
+  Packing witness = algo::best_of_portfolio(instance);
+  const Height witness_peak = peak_height(instance, witness);
+  report.upper_bound = witness_peak;
+
+  Packing best_packing = witness;
+  Height best_peak = witness_peak;
+  Height best_pipeline_peak = 0;
+  bool have_pipeline = false;
+
+  // Step 2: binary search over H'.
+  Height lo = report.lower_bound;
+  Height hi = witness_peak;
+  std::optional<AttemptOutcome> best_outcome;
+  while (lo <= hi) {
+    const Height mid = lo + (hi - lo) / 2;
+    AttemptOutcome outcome = attempt(instance, mid, params);
+    ++report.attempts;
+    if (!have_pipeline || outcome.peak < best_pipeline_peak) {
+      best_pipeline_peak = outcome.peak;
+      have_pipeline = true;
+    }
+    if (outcome.peak < best_peak) {
+      best_peak = outcome.peak;
+      best_packing = outcome.packing;
+    }
+    if (outcome.within_budget) {
+      report.best_guess = mid;
+      best_outcome = std::move(outcome);
+      hi = mid - 1;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  if (best_outcome) {
+    const Classification& cls = best_outcome->cls;
+    report.delta = cls.delta;
+    report.mu = cls.mu;
+    for (const Category c :
+         {Category::kLarge, Category::kTall, Category::kVertical,
+          Category::kMediumVertical, Category::kHorizontal, Category::kSmall,
+          Category::kMedium}) {
+      report.count_per_category[static_cast<int>(c)] = cls.of(c).size();
+    }
+    report.medium_area = cls.area_of(Category::kMedium, instance) +
+                         cls.area_of(Category::kMediumVertical, instance);
+    report.lp_used = best_outcome->lp_used;
+    report.lp_configurations = best_outcome->lp_configurations;
+    report.lp_overflow = best_outcome->lp_overflow;
+  }
+  report.pipeline_peak = have_pipeline ? best_pipeline_peak : witness_peak;
+  report.final_peak = best_peak;
+  result.packing = std::move(best_packing);
+  result.peak = best_peak;
+  return result;
+}
+
+}  // namespace dsp::approx

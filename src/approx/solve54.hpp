@@ -1,0 +1,67 @@
+#pragma once
+
+#include <string>
+
+#include "approx/classify.hpp"
+#include "core/packing.hpp"
+
+namespace dsp::approx {
+
+/// Parameters of the (5/4+eps) algorithm (Theorem 5).
+struct Approx54Params {
+  /// The accuracy parameter; budget per guess is (5/4 + eps) * H'.
+  Fraction epsilon = Fraction(1, 4);
+  /// Lemma-2 ladder length (see classify.hpp).
+  int ladder_length = 6;
+  /// Cap on configuration enumeration in the Lemma-10 LP.
+  std::size_t max_configs = 4096;
+  /// Cap on the number of gap boxes handed to the LP (rows stay small).
+  std::size_t max_gap_boxes = 48;
+};
+
+/// Diagnostics of one run — the quantities experiments E7/E9/E11 report.
+struct Approx54Report {
+  Height lower_bound = 0;       ///< combined lower bound (binary-search floor)
+  Height upper_bound = 0;       ///< witness peak (binary-search ceiling)
+  Height best_guess = 0;        ///< smallest H' whose attempt succeeded
+  Height pipeline_peak = 0;     ///< best peak achieved by the pipeline itself
+  Height final_peak = 0;        ///< returned packing's peak (incl. witness)
+  Fraction delta;               ///< Lemma-2 choice at the best guess
+  Fraction mu;
+  std::size_t count_per_category[7] = {0, 0, 0, 0, 0, 0, 0};
+  std::int64_t medium_area = 0;  ///< area of M u Mv at the best guess
+  bool lp_used = false;          ///< Lemma-10 LP solved at the best guess
+  std::size_t lp_configurations = 0;
+  std::size_t lp_overflow = 0;   ///< items through the extra-box path
+  std::size_t attempts = 0;      ///< binary-search probes
+};
+
+struct Approx54Result {
+  Packing packing;
+  Height peak = 0;
+  Approx54Report report;
+};
+
+/// The (5/4+eps)-approximation for DSP (Theorem 5), in the constructive
+/// realization documented in DESIGN.md (substitution 4):
+///
+///   step 1  lower/upper bounds (combined LB; baseline-portfolio witness)
+///   step 2  binary search over the height guess H'
+///   step 3  Lemma-2 parameter selection + Fig.-5 classification +
+///           Lemma-3 height rounding
+///   step 4  skeleton: large and tall items, tallest first, first-fit under
+///           the budget (5/4+eps) H'
+///   step 5  vertical items through the Lemma-10 configuration LP over the
+///           gap boxes of the skeleton profile; horizontal items by
+///           decreasing width first-fit (Lemma-11's rounding order); small
+///           items first-fit into the remaining gaps (Lemma 13)
+///   step 6  discarded medium items on top (Lemma 14, NFDH order)
+///   step 7  the best packing over all guesses (never worse than the
+///           witness) is returned
+///
+/// The returned packing is always feasible; peak quality is certified per
+/// run against the lower bound (experiment E7 measures the ratio).
+[[nodiscard]] Approx54Result solve54(const Instance& instance,
+                                     const Approx54Params& params = {});
+
+}  // namespace dsp::approx

@@ -1,0 +1,30 @@
+#include "core/bounds.hpp"
+
+#include <algorithm>
+
+namespace dsp {
+
+Height area_lower_bound(const Instance& instance) {
+  const std::int64_t area = instance.total_area();
+  const Length w = instance.strip_width();
+  return (area + w - 1) / w;
+}
+
+Height max_height_lower_bound(const Instance& instance) {
+  return instance.max_height();
+}
+
+Height wide_overlap_lower_bound(const Instance& instance) {
+  Height sum = 0;
+  for (const Item& it : instance.items()) {
+    if (2 * it.width > instance.strip_width()) sum += it.height;
+  }
+  return sum;
+}
+
+Height combined_lower_bound(const Instance& instance) {
+  return std::max({area_lower_bound(instance), max_height_lower_bound(instance),
+                   wide_overlap_lower_bound(instance)});
+}
+
+}  // namespace dsp

@@ -1,0 +1,24 @@
+#pragma once
+
+#include "core/instance.hpp"
+
+namespace dsp {
+
+/// Lower bounds on the optimal DSP peak.  The paper seeds its binary search
+/// (Thm. 5, step 1) with the area bound; the others tighten empirical ratio
+/// measurements when exact optima are out of reach.
+
+/// ceil(total item area / W): the load averaged over the strip.
+[[nodiscard]] Height area_lower_bound(const Instance& instance);
+
+/// The tallest item is a lower bound (it cannot be sliced horizontally).
+[[nodiscard]] Height max_height_lower_bound(const Instance& instance);
+
+/// Every item wider than W/2 covers the central column floor(W/2) wherever it
+/// is placed; the heights of all such items therefore stack.
+[[nodiscard]] Height wide_overlap_lower_bound(const Instance& instance);
+
+/// max of the three bounds above.
+[[nodiscard]] Height combined_lower_bound(const Instance& instance);
+
+}  // namespace dsp

@@ -1,0 +1,47 @@
+#include "core/instance.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace dsp {
+
+Instance::Instance(Length strip_width, std::vector<Item> items)
+    : strip_width_(strip_width), items_(std::move(items)) {
+  DSP_REQUIRE(strip_width_ >= 1, "strip width must be >= 1, got " << strip_width_);
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    const Item& it = items_[i];
+    DSP_REQUIRE(it.width >= 1 && it.width <= strip_width_,
+                "item " << i << " width " << it.width
+                        << " outside [1, W=" << strip_width_ << "]");
+    DSP_REQUIRE(it.height >= 1, "item " << i << " height " << it.height << " < 1");
+  }
+}
+
+std::int64_t Instance::total_area() const {
+  std::int64_t area = 0;
+  for (const Item& it : items_) area += it.area();
+  return area;
+}
+
+Height Instance::max_height() const {
+  Height h = 0;
+  for (const Item& it : items_) h = std::max(h, it.height);
+  return h;
+}
+
+Length Instance::max_width() const {
+  Length w = 0;
+  for (const Item& it : items_) w = std::max(w, it.width);
+  return w;
+}
+
+std::string Instance::summary() const {
+  std::ostringstream oss;
+  oss << "n=" << size() << " W=" << strip_width_ << " area=" << total_area()
+      << " hmax=" << max_height() << " wmax=" << max_width();
+  return oss.str();
+}
+
+}  // namespace dsp

@@ -1,0 +1,83 @@
+#include "core/occupancy.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/check.hpp"
+
+namespace dsp {
+
+StripOccupancy::StripOccupancy(Length strip_width) {
+  DSP_REQUIRE(strip_width >= 1, "strip width must be >= 1");
+  load_.assign(static_cast<std::size_t>(strip_width), 0);
+}
+
+Height StripOccupancy::peak() const {
+  Height p = 0;
+  for (const Height v : load_) p = std::max(p, v);
+  return p;
+}
+
+void StripOccupancy::add(Length start, Length width, Height height) {
+  DSP_REQUIRE(start >= 0 && width >= 1 && start + width <= strip_width(),
+              "add outside strip: start=" << start << " width=" << width);
+  for (Length x = start; x < start + width; ++x) {
+    load_[static_cast<std::size_t>(x)] += height;
+  }
+}
+
+void StripOccupancy::remove(Length start, Length width, Height height) {
+  add(start, width, -height);
+}
+
+Height StripOccupancy::window_max(Length start, Length width) const {
+  DSP_REQUIRE(start >= 0 && width >= 1 && start + width <= strip_width(),
+              "window outside strip");
+  Height m = 0;
+  for (Length x = start; x < start + width; ++x) {
+    m = std::max(m, load_[static_cast<std::size_t>(x)]);
+  }
+  return m;
+}
+
+std::vector<Height> StripOccupancy::window_maxima(Length width) const {
+  const Length w = strip_width();
+  std::vector<Height> maxima(static_cast<std::size_t>(w - width + 1));
+  std::deque<Length> queue;  // indices with decreasing load
+  for (Length x = 0; x < w; ++x) {
+    while (!queue.empty() &&
+           load_[static_cast<std::size_t>(queue.back())] <=
+               load_[static_cast<std::size_t>(x)]) {
+      queue.pop_back();
+    }
+    queue.push_back(x);
+    if (queue.front() <= x - width) queue.pop_front();
+    if (x >= width - 1) {
+      maxima[static_cast<std::size_t>(x - width + 1)] =
+          load_[static_cast<std::size_t>(queue.front())];
+    }
+  }
+  return maxima;
+}
+
+std::optional<Length> StripOccupancy::first_fit(Length width, Height height,
+                                                Height budget) const {
+  DSP_REQUIRE(width >= 1 && width <= strip_width(), "item wider than strip");
+  const std::vector<Height> maxima = window_maxima(width);
+  for (std::size_t x = 0; x < maxima.size(); ++x) {
+    if (maxima[x] + height <= budget) return static_cast<Length>(x);
+  }
+  return std::nullopt;
+}
+
+StripOccupancy::BestPosition StripOccupancy::min_peak_position(Length width) const {
+  DSP_REQUIRE(width >= 1 && width <= strip_width(), "item wider than strip");
+  const std::vector<Height> maxima = window_maxima(width);
+  std::size_t best = 0;
+  for (std::size_t x = 1; x < maxima.size(); ++x) {
+    if (maxima[x] < maxima[best]) best = x;
+  }
+  return {static_cast<Length>(best), maxima[best]};
+}
+
+}  // namespace dsp

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/instance.hpp"
+
+namespace dsp {
+
+/// Mutable demand profile supporting the placement queries every constructive
+/// DSP algorithm needs:
+///
+///  * add / remove an item at a position (O(width of item)),
+///  * max load over a window (O(window)),
+///  * leftmost position where an item fits under a peak budget
+///    (one O(W) sliding-window-maximum pass),
+///  * position minimizing the resulting peak (same pass, min of window max).
+///
+/// W is pseudo-polynomially small in this problem family (days divided into
+/// minutes — paper §1), so dense O(W) passes are the intended regime.
+class StripOccupancy {
+ public:
+  explicit StripOccupancy(Length strip_width);
+
+  [[nodiscard]] Length strip_width() const { return static_cast<Length>(load_.size()); }
+  [[nodiscard]] Height peak() const;
+  [[nodiscard]] Height load_at(Length x) const { return load_.at(static_cast<std::size_t>(x)); }
+  [[nodiscard]] std::span<const Height> loads() const { return load_; }
+
+  /// Adds an item of the given width/height starting at `start`.
+  void add(Length start, Length width, Height height);
+  /// Removes a previously added item (no bookkeeping: caller's contract).
+  void remove(Length start, Length width, Height height);
+
+  /// Max load over [start, start+width).
+  [[nodiscard]] Height window_max(Length start, Length width) const;
+
+  /// Leftmost start x in [0, W-width] such that window_max(x, width) + height
+  /// <= budget, or nullopt if none exists.
+  [[nodiscard]] std::optional<Length> first_fit(Length width, Height height,
+                                                Height budget) const;
+
+  /// A start position minimizing the peak after adding an item of the given
+  /// width (leftmost among minimizers), together with that resulting local
+  /// max.  Never fails for width <= W.
+  struct BestPosition {
+    Length start;
+    Height window_max;  ///< max load under the item before adding it
+  };
+  [[nodiscard]] BestPosition min_peak_position(Length width) const;
+
+ private:
+  /// Sliding-window maxima M[x] = max load over [x, x+width) for all valid x.
+  [[nodiscard]] std::vector<Height> window_maxima(Length width) const;
+
+  std::vector<Height> load_;
+};
+
+}  // namespace dsp

@@ -1,0 +1,57 @@
+#include "core/packing.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace dsp {
+
+LoadProfile::LoadProfile(const Instance& instance, const Packing& packing) {
+  if (auto err = feasibility_error(instance, packing)) {
+    DSP_REQUIRE(false, "LoadProfile on infeasible packing: " << *err);
+  }
+  const auto width = static_cast<std::size_t>(instance.strip_width());
+  // Difference-array construction: O(n + W).
+  std::vector<Height> diff(width + 1, 0);
+  for (std::size_t i = 0; i < instance.size(); ++i) {
+    const Item& it = instance.item(i);
+    const Length s = packing.start[i];
+    diff[static_cast<std::size_t>(s)] += it.height;
+    diff[static_cast<std::size_t>(s + it.width)] -= it.height;
+  }
+  load_.resize(width, 0);
+  Height running = 0;
+  for (std::size_t x = 0; x < width; ++x) {
+    running += diff[x];
+    load_[x] = running;
+    peak_ = std::max(peak_, running);
+  }
+}
+
+std::optional<std::string> feasibility_error(const Instance& instance,
+                                             const Packing& packing) {
+  if (packing.start.size() != instance.size()) {
+    std::ostringstream oss;
+    oss << "packing has " << packing.start.size() << " starts for "
+        << instance.size() << " items";
+    return oss.str();
+  }
+  for (std::size_t i = 0; i < instance.size(); ++i) {
+    const Length s = packing.start[i];
+    const Item& it = instance.item(i);
+    if (s < 0 || s + it.width > instance.strip_width()) {
+      std::ostringstream oss;
+      oss << "item " << i << " at start " << s << " with width " << it.width
+          << " leaves the strip of width " << instance.strip_width();
+      return oss.str();
+    }
+  }
+  return std::nullopt;
+}
+
+Height peak_height(const Instance& instance, const Packing& packing) {
+  return LoadProfile(instance, packing).peak();
+}
+
+}  // namespace dsp

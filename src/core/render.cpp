@@ -1,0 +1,68 @@
+#include "core/render.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace dsp {
+
+namespace {
+
+char item_glyph(std::size_t index) {
+  if (index < 26) return static_cast<char>('a' + index);
+  if (index < 52) return static_cast<char>('A' + (index - 26));
+  return '#';
+}
+
+}  // namespace
+
+std::string render_profile(const Instance& instance, const Packing& packing,
+                           int max_rows) {
+  const LoadProfile profile(instance, packing);
+  const Height peak = std::max<Height>(profile.peak(), 1);
+  const Height rows = std::min<Height>(peak, max_rows);
+  std::ostringstream oss;
+  for (Height r = rows; r >= 1; --r) {
+    // Row r covers loads in ((r-1)*peak/rows, r*peak/rows].
+    const Height threshold = (r - 1) * peak / rows;
+    oss << (r == rows ? "peak " : "     ");
+    for (Length x = 0; x < profile.width(); ++x) {
+      oss << (profile.load_at(x) > threshold ? '#' : ' ');
+    }
+    oss << '\n';
+  }
+  oss << "     " << std::string(static_cast<std::size_t>(profile.width()), '-')
+      << "\n     W=" << instance.strip_width() << " peak=" << profile.peak()
+      << '\n';
+  return oss.str();
+}
+
+std::string render_sliced(const Instance& instance, const SlicedPacking& sliced) {
+  DSP_REQUIRE(!sliced.validate(instance),
+              "render_sliced requires a feasible sliced packing");
+  const Height height = std::max<Height>(sliced.height(instance), 1);
+  const auto w = static_cast<std::size_t>(instance.strip_width());
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(w, '.'));
+  for (std::size_t i = 0; i < sliced.size(); ++i) {
+    const Height h = instance.item(i).height;
+    for (const Slice& s : sliced.slices_of(i)) {
+      for (Length x = s.x_begin; x < s.x_end; ++x) {
+        for (Height y = s.y; y < s.y + h; ++y) {
+          grid[static_cast<std::size_t>(y)][static_cast<std::size_t>(x)] =
+              item_glyph(i);
+        }
+      }
+    }
+  }
+  std::ostringstream oss;
+  for (auto row = grid.rbegin(); row != grid.rend(); ++row) {
+    oss << *row << '\n';
+  }
+  oss << std::string(w, '-') << '\n';
+  return oss.str();
+}
+
+}  // namespace dsp

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+
+#include "core/sliced.hpp"
+
+namespace dsp {
+
+/// ASCII renderings for examples and debugging.  Suitable for small strips
+/// (a few hundred columns); larger inputs are down-sampled column-wise.
+
+/// Bar-chart of the demand profile, one character column per strip column,
+/// peak row at the top.  `max_rows` caps vertical resolution.
+[[nodiscard]] std::string render_profile(const Instance& instance,
+                                         const Packing& packing,
+                                         int max_rows = 24);
+
+/// Grid rendering of a sliced packing: each cell shows the item occupying it
+/// (letters a..z, A..Z then '#'), '.' for empty space — the style of the
+/// paper's Fig. 1.
+[[nodiscard]] std::string render_sliced(const Instance& instance,
+                                        const SlicedPacking& sliced);
+
+}  // namespace dsp

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "util/check.hpp"
+
+namespace dsp {
+
+/// Lazy segment tree over strip columns supporting range-add (place/remove
+/// an item) and range-max (peak over a window) in O(log W).
+///
+/// StripOccupancy's dense O(W) passes are the right tool for the
+/// pseudo-polynomial regime this paper targets; this tree is the
+/// alternative for *sparse* workloads (few items on a very wide strip),
+/// where n log W beats n·W.  Both structures satisfy the same contract and
+/// are cross-checked against each other in tests.
+class SegmentTree {
+ public:
+  explicit SegmentTree(Length width) : width_(width) {
+    DSP_REQUIRE(width >= 1, "segment tree over an empty strip");
+    std::size_t size = 1;
+    while (size < static_cast<std::size_t>(width)) size <<= 1;
+    size_ = size;
+    max_.assign(2 * size_, 0);
+    lazy_.assign(2 * size_, 0);
+  }
+
+  [[nodiscard]] Length width() const { return width_; }
+
+  /// Adds `delta` to every column in [begin, end).
+  void range_add(Length begin, Length end, Height delta) {
+    DSP_REQUIRE(0 <= begin && begin < end && end <= width_,
+                "range_add outside the strip");
+    add(1, 0, static_cast<Length>(size_), begin, end, delta);
+  }
+
+  /// Max load over [begin, end).
+  [[nodiscard]] Height range_max(Length begin, Length end) const {
+    DSP_REQUIRE(0 <= begin && begin < end && end <= width_,
+                "range_max outside the strip");
+    return query(1, 0, static_cast<Length>(size_), begin, end);
+  }
+
+  /// Max load over the whole strip.
+  [[nodiscard]] Height peak() const { return max_[1] + lazy_[1]; }
+
+ private:
+  void add(std::size_t node, Length lo, Length hi, Length begin, Length end,
+           Height delta) {
+    if (begin <= lo && hi <= end) {
+      lazy_[node] += delta;
+      return;
+    }
+    const Length mid = lo + (hi - lo) / 2;
+    if (begin < mid) add(2 * node, lo, mid, begin, end, delta);
+    if (end > mid) add(2 * node + 1, mid, hi, begin, end, delta);
+    max_[node] = std::max(max_[2 * node] + lazy_[2 * node],
+                          max_[2 * node + 1] + lazy_[2 * node + 1]);
+  }
+
+  [[nodiscard]] Height query(std::size_t node, Length lo, Length hi,
+                             Length begin, Length end) const {
+    if (begin <= lo && hi <= end) return max_[node] + lazy_[node];
+    const Length mid = lo + (hi - lo) / 2;
+    Height best = 0;
+    bool any = false;
+    if (begin < mid) {
+      best = query(2 * node, lo, mid, begin, end);
+      any = true;
+    }
+    if (end > mid) {
+      const Height right = query(2 * node + 1, mid, hi, begin, end);
+      best = any ? std::max(best, right) : right;
+    }
+    return best + lazy_[node];
+  }
+
+  Length width_;
+  std::size_t size_ = 1;
+  std::vector<Height> max_;
+  std::vector<Height> lazy_;
+};
+
+}  // namespace dsp

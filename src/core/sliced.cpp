@@ -1,0 +1,169 @@
+#include "core/sliced.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace dsp {
+
+SlicedPacking::SlicedPacking(std::vector<Length> starts,
+                             std::vector<std::vector<Slice>> slices)
+    : starts_(std::move(starts)), slices_(std::move(slices)) {
+  DSP_REQUIRE(starts_.size() == slices_.size(),
+              "starts/slices size mismatch: " << starts_.size() << " vs "
+                                              << slices_.size());
+}
+
+SlicedPacking SlicedPacking::canonical(const Instance& instance,
+                                       const Packing& packing) {
+  if (auto err = feasibility_error(instance, packing)) {
+    DSP_REQUIRE(false, "canonical slicing of infeasible packing: " << *err);
+  }
+  const std::size_t n = instance.size();
+  std::vector<std::vector<Slice>> slices(n);
+
+  // Sweep breakpoints: every start and end position.
+  std::vector<Length> breaks;
+  breaks.reserve(2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    breaks.push_back(packing.start[i]);
+    breaks.push_back(packing.start[i] + instance.item(i).width);
+  }
+  std::sort(breaks.begin(), breaks.end());
+  breaks.erase(std::unique(breaks.begin(), breaks.end()), breaks.end());
+
+  // Items ordered by (start, index): stable stacking order so an item's
+  // height only changes when something below it ends.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (packing.start[a] != packing.start[b]) {
+      return packing.start[a] < packing.start[b];
+    }
+    return a < b;
+  });
+
+  std::vector<std::size_t> active;  // maintained in stacking order
+  std::size_t next = 0;
+  for (std::size_t bi = 0; bi + 1 < breaks.size(); ++bi) {
+    const Length x0 = breaks[bi];
+    const Length x1 = breaks[bi + 1];
+    // Retire items ending at x0.
+    std::erase_if(active, [&](std::size_t i) {
+      return packing.start[i] + instance.item(i).width <= x0;
+    });
+    // Admit items starting at x0 (appended on top of the stack).
+    while (next < n && packing.start[order[next]] == x0) {
+      active.push_back(order[next]);
+      ++next;
+    }
+    // Assign stacked heights over [x0, x1); extend the previous slice when
+    // the height is unchanged.
+    Height y = 0;
+    for (const std::size_t i : active) {
+      auto& own = slices[i];
+      if (!own.empty() && own.back().x_end == x0 && own.back().y == y) {
+        own.back().x_end = x1;
+      } else {
+        own.push_back(Slice{x0, x1, y});
+      }
+      y += instance.item(i).height;
+    }
+  }
+  return SlicedPacking(packing.start, std::move(slices));
+}
+
+Height SlicedPacking::height(const Instance& instance) const {
+  Height top = 0;
+  for (std::size_t i = 0; i < size(); ++i) {
+    for (const Slice& s : slices_[i]) {
+      top = std::max(top, s.y + instance.item(i).height);
+    }
+  }
+  return top;
+}
+
+std::optional<std::string> SlicedPacking::validate(const Instance& instance) const {
+  if (size() != instance.size()) {
+    return "sliced packing size differs from instance size";
+  }
+  const auto fail = [](const std::ostringstream& oss) { return oss.str(); };
+
+  // Per-item checks: slices sorted, contiguous, covering exactly
+  // [start, start + width), inside the strip, y >= 0.
+  for (std::size_t i = 0; i < size(); ++i) {
+    const Item& it = instance.item(i);
+    const Length s = starts_[i];
+    if (s < 0 || s + it.width > instance.strip_width()) {
+      std::ostringstream oss;
+      oss << "item " << i << " start " << s << " outside strip";
+      return fail(oss);
+    }
+    const auto& own = slices_[i];
+    if (own.empty()) {
+      std::ostringstream oss;
+      oss << "item " << i << " has no slices";
+      return fail(oss);
+    }
+    Length cursor = s;
+    for (const Slice& sl : own) {
+      if (sl.x_begin != cursor || sl.x_end <= sl.x_begin) {
+        std::ostringstream oss;
+        oss << "item " << i << " slices not contiguous at x=" << cursor;
+        return fail(oss);
+      }
+      if (sl.y < 0) {
+        std::ostringstream oss;
+        oss << "item " << i << " slice below the strip floor";
+        return fail(oss);
+      }
+      cursor = sl.x_end;
+    }
+    if (cursor != s + it.width) {
+      std::ostringstream oss;
+      oss << "item " << i << " slices cover [" << s << "," << cursor
+          << ") instead of [" << s << "," << s + it.width << ")";
+      return fail(oss);
+    }
+  }
+
+  // Non-overlap: sweep elementary x-slabs; inside each, the vertical
+  // intervals of the covering slices must be pairwise disjoint.
+  std::vector<Length> breaks;
+  for (std::size_t i = 0; i < size(); ++i) {
+    for (const Slice& sl : slices_[i]) {
+      breaks.push_back(sl.x_begin);
+      breaks.push_back(sl.x_end);
+    }
+  }
+  std::sort(breaks.begin(), breaks.end());
+  breaks.erase(std::unique(breaks.begin(), breaks.end()), breaks.end());
+
+  for (std::size_t bi = 0; bi + 1 < breaks.size(); ++bi) {
+    const Length x0 = breaks[bi];
+    std::vector<std::pair<Height, Height>> intervals;  // [y, y+h)
+    for (std::size_t i = 0; i < size(); ++i) {
+      for (const Slice& sl : slices_[i]) {
+        if (sl.x_begin <= x0 && x0 < sl.x_end) {
+          intervals.emplace_back(sl.y, sl.y + instance.item(i).height);
+        }
+      }
+    }
+    std::sort(intervals.begin(), intervals.end());
+    for (std::size_t k = 1; k < intervals.size(); ++k) {
+      if (intervals[k].first < intervals[k - 1].second) {
+        std::ostringstream oss;
+        oss << "overlap at x=" << x0 << ": [" << intervals[k - 1].first << ","
+            << intervals[k - 1].second << ") and [" << intervals[k].first << ","
+            << intervals[k].second << ")";
+        return fail(oss);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace dsp

@@ -1,0 +1,73 @@
+#include "exact/pts_exact.hpp"
+
+#include <numeric>
+
+#include "transform/transform.hpp"
+#include "util/check.hpp"
+
+namespace dsp::exact {
+
+DecisionResult pts_decide_makespan(const pts::PtsInstance& instance,
+                                   pts::Time deadline, const Limits& limits) {
+  DSP_REQUIRE(deadline >= 1, "deadline must be positive");
+  if (instance.max_time() > deadline) {
+    DecisionResult r;
+    r.status = SearchStatus::kProvedInfeasible;
+    return r;
+  }
+  const Instance dsp_instance =
+      transform::pts_to_dsp_instance(instance, deadline);
+  return decide_peak(dsp_instance, instance.num_machines(), limits);
+}
+
+PtsOptResult pts_min_makespan(const pts::PtsInstance& instance,
+                              const Limits& limits) {
+  PtsOptResult result;
+  if (instance.size() == 0) {
+    result.proven_optimal = true;
+    return result;
+  }
+  pts::Time lo = std::max(instance.work_lower_bound(), instance.max_time());
+  pts::Time hi = 0;
+  for (const pts::Job& j : instance.jobs()) hi += j.time;  // serial schedule
+  bool conclusive = true;
+  Packing witness;
+  pts::Time witness_makespan = hi;
+  {
+    // The serial schedule is always feasible: jobs one after another.
+    witness.start.resize(instance.size());
+    pts::Time t = 0;
+    for (std::size_t j = 0; j < instance.size(); ++j) {
+      witness.start[j] = t;
+      t += instance.job(j).time;
+    }
+  }
+  while (lo < hi) {
+    const pts::Time mid = lo + (hi - lo) / 2;
+    const DecisionResult d = pts_decide_makespan(instance, mid, limits);
+    result.nodes += d.nodes;
+    if (d.status == SearchStatus::kProvedFeasible) {
+      witness = *d.packing;
+      witness_makespan = mid;
+      hi = mid;
+    } else if (d.status == SearchStatus::kProvedInfeasible) {
+      lo = mid + 1;
+    } else {
+      conclusive = false;
+      lo = mid + 1;
+    }
+  }
+  result.makespan = hi;
+  result.proven_optimal = conclusive;
+  // Recover the explicit machine assignment with the Thm.-1 sweep.
+  const Instance dsp_instance =
+      transform::pts_to_dsp_instance(instance, witness_makespan);
+  auto schedule = transform::packing_to_schedule(dsp_instance, witness,
+                                                 instance.num_machines());
+  DSP_REQUIRE(schedule.has_value(),
+              "internal error: feasible packing failed the schedule sweep");
+  result.schedule = std::move(*schedule);
+  return result;
+}
+
+}  // namespace dsp::exact

@@ -1,0 +1,34 @@
+#pragma once
+
+#include "exact/dsp_exact.hpp"
+#include "pts/pts.hpp"
+
+namespace dsp::pts {
+struct MachineSchedule;
+}
+
+namespace dsp::exact {
+
+struct PtsOptResult {
+  pts::Time makespan = 0;
+  bool proven_optimal = false;
+  pts::MachineSchedule schedule;
+  std::uint64_t nodes = 0;
+};
+
+/// Exact PTS makespan minimization via the Theorem-1 duality: a schedule with
+/// makespan <= T on m machines exists iff the transformed DSP instance with
+/// strip width T packs with peak <= m.  Binary search on T, exact DSP
+/// decision inside, and the constructive packing->schedule sweep to recover
+/// the witness schedule.  This *is* the paper's dual treatment of the two
+/// problems, used as an exact solver.
+[[nodiscard]] PtsOptResult pts_min_makespan(const pts::PtsInstance& instance,
+                                            const Limits& limits = {});
+
+/// Decision form: can the jobs finish by `deadline` on the instance's
+/// machines?
+[[nodiscard]] DecisionResult pts_decide_makespan(const pts::PtsInstance& instance,
+                                                 pts::Time deadline,
+                                                 const Limits& limits = {});
+
+}  // namespace dsp::exact

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <optional>
+
+#include "exact/dsp_exact.hpp"
+#include "sp/sp.hpp"
+
+namespace dsp::exact {
+
+/// Exact classical (contiguous) strip packing for small instances.  Used by
+/// the integrality-gap experiment E1 (paper Fig. 1) where OPT_SP and OPT_DSP
+/// must both be certified.
+///
+/// Decision: does the instance fit a W x H box?  Branch-and-bound over grid
+/// placements with per-column occupancy bitmasks (requires H <= 62), item
+/// order by decreasing area, mirror symmetry breaking, monotone placements
+/// for identical items, and memoization of refuted (depth, occupancy) states.
+struct SpDecisionResult {
+  SearchStatus status = SearchStatus::kLimitReached;
+  std::optional<sp::SpPacking> packing;
+  std::uint64_t nodes = 0;
+};
+
+[[nodiscard]] SpDecisionResult sp_decide_height(const Instance& instance,
+                                                Height height,
+                                                const Limits& limits = {});
+
+struct SpOptResult {
+  Height height = 0;
+  bool proven_optimal = false;
+  sp::SpPacking packing;
+  std::uint64_t nodes = 0;
+};
+
+/// Exact minimum SP height by binary search on sp_decide_height between the
+/// DSP lower bound and the best SP heuristic.
+[[nodiscard]] SpOptResult sp_min_height(const Instance& instance,
+                                        const Limits& limits = {});
+
+}  // namespace dsp::exact

@@ -1,0 +1,82 @@
+#include "exact/three_partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dsp::exact {
+
+namespace {
+
+struct PartitionSearch {
+  const std::vector<std::int64_t>& values;
+  std::int64_t target;
+  std::vector<std::size_t> order;   // indices by decreasing value
+  std::vector<std::int64_t> load;   // current sum per group
+  std::vector<int> count;           // items per group (must end at 3)
+  std::vector<int> assignment;      // result, indexed by original position
+
+  bool assign(std::size_t depth) {
+    if (depth == order.size()) return true;
+    const std::size_t index = order[depth];
+    const std::int64_t v = values[index];
+    for (std::size_t g = 0; g < load.size(); ++g) {
+      // Symmetry breaking: skip groups identical to an earlier one.
+      bool duplicate = false;
+      for (std::size_t g2 = 0; g2 < g; ++g2) {
+        if (load[g2] == load[g] && count[g2] == count[g]) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (duplicate) continue;
+      if (count[g] == 3 || load[g] + v > target) continue;
+      // Remaining slots in this group must be fillable: with items sorted in
+      // decreasing order, a group short by s slots needs at least s more
+      // items; the residual target must stay reachable (>= s * min value).
+      load[g] += v;
+      count[g] += 1;
+      assignment[index] = static_cast<int>(g);
+      const bool complete_ok = count[g] < 3 || load[g] == target;
+      if (complete_ok && assign(depth + 1)) return true;
+      load[g] -= v;
+      count[g] -= 1;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+bool three_partition_preconditions(const std::vector<std::int64_t>& values,
+                                   std::int64_t target) {
+  if (values.size() % 3 != 0 || values.empty() || target <= 0) return false;
+  const auto k = static_cast<std::int64_t>(values.size() / 3);
+  const std::int64_t sum = std::accumulate(values.begin(), values.end(),
+                                           std::int64_t{0});
+  if (sum != k * target) return false;
+  return std::all_of(values.begin(), values.end(), [&](std::int64_t v) {
+    return 4 * v > target && 4 * v < 2 * target;
+  });
+}
+
+std::optional<std::vector<int>> three_partition(
+    const std::vector<std::int64_t>& values, std::int64_t target) {
+  if (values.size() % 3 != 0 || values.empty()) return std::nullopt;
+  const std::size_t k = values.size() / 3;
+  const std::int64_t sum =
+      std::accumulate(values.begin(), values.end(), std::int64_t{0});
+  if (sum != static_cast<std::int64_t>(k) * target) return std::nullopt;
+
+  PartitionSearch search{values, target, {}, {}, {}, {}};
+  search.order.resize(values.size());
+  std::iota(search.order.begin(), search.order.end(), 0);
+  std::sort(search.order.begin(), search.order.end(),
+            [&](std::size_t a, std::size_t b) { return values[a] > values[b]; });
+  search.load.assign(k, 0);
+  search.count.assign(k, 0);
+  search.assignment.assign(values.size(), -1);
+  if (!search.assign(0)) return std::nullopt;
+  return search.assignment;
+}
+
+}  // namespace dsp::exact

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace dsp::exact {
+
+/// Exact 3-Partition: can `values` (|values| = 3k, sum = k*target) be split
+/// into k triples each summing to `target`?  Ground truth for the hardness
+/// experiment E4 (the reduction behind Theorem 1 via Henning et al. [12]).
+///
+/// Depth-first search over groups with symmetry breaking (identical residual
+/// groups are only tried once).  Intended for small k (<= ~8).
+/// Returns the group index per value, or nullopt if no partition exists.
+[[nodiscard]] std::optional<std::vector<int>> three_partition(
+    const std::vector<std::int64_t>& values, std::int64_t target);
+
+/// True iff the values satisfy the 3-Partition size preconditions
+/// (|values| = 3k, sum = k*target, every value in (target/4, target/2)).
+[[nodiscard]] bool three_partition_preconditions(
+    const std::vector<std::int64_t>& values, std::int64_t target);
+
+}  // namespace dsp::exact

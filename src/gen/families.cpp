@@ -1,0 +1,122 @@
+#include "gen/families.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/check.hpp"
+
+namespace dsp::gen {
+
+Instance random_uniform(std::size_t n, Length strip_width, Length max_width,
+                        Height max_height, Rng& rng) {
+  DSP_REQUIRE(max_width >= 1 && max_width <= strip_width,
+              "max_width outside [1, W]");
+  DSP_REQUIRE(max_height >= 1, "max_height must be >= 1");
+  std::vector<Item> items;
+  items.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    items.push_back(Item{rng.uniform(1, max_width), rng.uniform(1, max_height)});
+  }
+  return Instance(strip_width, std::move(items));
+}
+
+Instance tall_items(std::size_t n, Length strip_width, Height h_ref, Rng& rng) {
+  DSP_REQUIRE(h_ref >= 2, "h_ref must be >= 2");
+  std::vector<Item> items;
+  items.reserve(n);
+  const Length wmax = std::max<Length>(1, strip_width / 4);
+  for (std::size_t i = 0; i < n; ++i) {
+    items.push_back(
+        Item{rng.uniform(1, wmax), rng.uniform((h_ref + 1) / 2, h_ref)});
+  }
+  return Instance(strip_width, std::move(items));
+}
+
+Instance wide_items(std::size_t n, Length strip_width, Height max_height,
+                    Rng& rng) {
+  DSP_REQUIRE(max_height >= 1, "max_height must be >= 1");
+  std::vector<Item> items;
+  items.reserve(n);
+  const Length wmin = std::max<Length>(1, strip_width / 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    items.push_back(
+        Item{rng.uniform(wmin, strip_width), rng.uniform(1, max_height)});
+  }
+  return Instance(strip_width, std::move(items));
+}
+
+Instance equal_width(std::size_t n, Length strip_width, Length item_width,
+                     Height max_height, Rng& rng) {
+  DSP_REQUIRE(item_width >= 1 && item_width <= strip_width,
+              "item_width outside [1, W]");
+  std::vector<Item> items;
+  items.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    items.push_back(Item{item_width, rng.uniform(1, max_height)});
+  }
+  return Instance(strip_width, std::move(items));
+}
+
+Instance correlated(std::size_t n, Length strip_width, Length max_width,
+                    Height max_height, Rng& rng) {
+  DSP_REQUIRE(max_width >= 1 && max_width <= strip_width, "bad max_width");
+  std::vector<Item> items;
+  items.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Length w = rng.uniform(1, max_width);
+    // Height centered on the same relative size as the width.
+    const Height center = std::max<Height>(
+        1, (max_height * w + max_width / 2) / max_width);
+    const Height lo = std::max<Height>(1, center - center / 2);
+    const Height hi = std::min<Height>(max_height, center + center / 2);
+    items.push_back(Item{w, rng.uniform(lo, std::max(lo, hi))});
+  }
+  return Instance(strip_width, std::move(items));
+}
+
+Instance perfect_packing(std::size_t n, Length strip_width, Height height,
+                         Rng& rng) {
+  DSP_REQUIRE(n >= 1, "need at least one item");
+  DSP_REQUIRE(strip_width >= 1 && height >= 1, "degenerate strip");
+  DSP_REQUIRE(static_cast<std::int64_t>(n) <=
+                  strip_width * static_cast<std::int64_t>(height),
+              "cannot cut " << strip_width << "x" << height << " into " << n
+                            << " unit-or-larger rectangles");
+  struct Rect {
+    Length w;
+    Height h;
+  };
+  // Repeatedly split the largest rectangle with a random guillotine cut
+  // until n pieces exist.  Splitting the largest keeps pieces balanced.
+  std::deque<Rect> pieces{Rect{strip_width, height}};
+  while (pieces.size() < n) {
+    auto largest = std::max_element(
+        pieces.begin(), pieces.end(), [](const Rect& a, const Rect& b) {
+          return static_cast<std::int64_t>(a.w) * a.h <
+                 static_cast<std::int64_t>(b.w) * b.h;
+        });
+    Rect r = *largest;
+    pieces.erase(largest);
+    const bool can_vertical = r.w >= 2;
+    const bool can_horizontal = r.h >= 2;
+    DSP_REQUIRE(can_vertical || can_horizontal,
+                "internal error: unsplittable piece reached");
+    const bool vertical = can_vertical && (!can_horizontal || rng.chance(0.5));
+    if (vertical) {
+      const Length cut = rng.uniform(1, r.w - 1);
+      pieces.push_back(Rect{cut, r.h});
+      pieces.push_back(Rect{r.w - cut, r.h});
+    } else {
+      const Height cut = rng.uniform(1, r.h - 1);
+      pieces.push_back(Rect{r.w, cut});
+      pieces.push_back(Rect{r.w, r.h - cut});
+    }
+  }
+  std::vector<Item> items;
+  items.reserve(n);
+  for (const Rect& r : pieces) items.push_back(Item{r.w, r.h});
+  std::shuffle(items.begin(), items.end(), rng.engine());
+  return Instance(strip_width, std::move(items));
+}
+
+}  // namespace dsp::gen

@@ -1,0 +1,46 @@
+#pragma once
+
+#include "core/instance.hpp"
+#include "util/prng.hpp"
+
+namespace dsp::gen {
+
+/// Random instance families for the measured-ratio experiments (E7, E12).
+/// All generators are deterministic given the Rng seed.
+
+/// Widths uniform in [1, max_width], heights uniform in [1, max_height].
+[[nodiscard]] Instance random_uniform(std::size_t n, Length strip_width,
+                                      Length max_width, Height max_height,
+                                      Rng& rng);
+
+/// Tall-and-narrow items: heights in [h_ref/2, h_ref], widths in
+/// [1, strip_width/4].  Stresses the tall-item machinery of the (5/4+eps)
+/// algorithm (classification T, Lemmas 6-9).
+[[nodiscard]] Instance tall_items(std::size_t n, Length strip_width,
+                                  Height h_ref, Rng& rng);
+
+/// Wide-and-flat items: widths in [strip_width/2, strip_width], small
+/// heights.  Stresses the horizontal-item configuration LP (Lemma 11).
+[[nodiscard]] Instance wide_items(std::size_t n, Length strip_width,
+                                  Height max_height, Rng& rng);
+
+/// All items share one width (the Yaw et al. special case, E12).
+[[nodiscard]] Instance equal_width(std::size_t n, Length strip_width,
+                                   Length item_width, Height max_height,
+                                   Rng& rng);
+
+/// Heights positively correlated with widths (big appliances draw more power
+/// for longer).
+[[nodiscard]] Instance correlated(std::size_t n, Length strip_width,
+                                  Length max_width, Height max_height,
+                                  Rng& rng);
+
+/// A perfect-packing family: the strip rectangle W x H is recursively cut by
+/// guillotine splits into exactly n items.  By construction the items tile
+/// W x H, so OPT_DSP = OPT_SP = H *exactly* (the area bound is tight) at any
+/// scale — the only family where large-instance ratios are measured against
+/// a certified optimum rather than a lower bound.
+[[nodiscard]] Instance perfect_packing(std::size_t n, Length strip_width,
+                                       Height height, Rng& rng);
+
+}  // namespace dsp::gen

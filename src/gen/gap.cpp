@@ -1,0 +1,35 @@
+#include "gen/gap.hpp"
+
+#include "util/check.hpp"
+
+namespace dsp::gen {
+
+namespace {
+
+const std::vector<Item>& gap_items() {
+  static const std::vector<Item> items = {
+      {3, 2}, {1, 3}, {1, 3}, {2, 1}, {2, 1}, {2, 1}, {2, 1}};
+  return items;
+}
+
+}  // namespace
+
+Instance gap_instance() { return Instance(5, gap_items()); }
+
+Instance gap_instance_replicated(std::size_t copies) {
+  DSP_REQUIRE(copies >= 1, "need at least one copy");
+  std::vector<Item> items;
+  items.reserve(copies * gap_items().size());
+  for (std::size_t c = 0; c < copies; ++c) {
+    items.insert(items.end(), gap_items().begin(), gap_items().end());
+  }
+  return Instance(5 * static_cast<Length>(copies), std::move(items));
+}
+
+Packing gap_dsp_witness() {
+  // Loads: pillars at the edges (3), the 3x2 in the middle, the four 2x1
+  // flats complete every column to exactly 4.
+  return Packing{{1, 0, 4, 0, 3, 1, 2}};
+}
+
+}  // namespace dsp::gen

@@ -1,0 +1,31 @@
+#pragma once
+
+#include "core/packing.hpp"
+
+namespace dsp::gen {
+
+/// The integrality-gap instance of experiment E1 (paper Fig. 1, Bladek et
+/// al. [2]): slicing lowers the optimal height by a factor 5/4.
+///
+///   W = 5, items {3x2, 1x3, 1x3, 2x1, 2x1, 2x1, 2x1}  (area 20 = 4*W)
+///   OPT_DSP = 4 (sliced),  OPT_SP = 5 (contiguous)
+///
+/// Both optima are certified by the exact solvers in tests/test_gap.cpp.
+/// This instance was found by exhaustive search with this repo's exact
+/// DSP/SP solvers (the paper's Fig. 1 draws the phenomenon but does not
+/// list item sizes).
+[[nodiscard]] Instance gap_instance();
+
+/// `copies` gap instances side by side (strip width 5*copies).  NOTE (a
+/// finding of E1, verified exactly for copies = 2): replication does NOT
+/// preserve the gap — contiguous packings can mix items across copies and
+/// recover height 4.  The bench reports this; the certified 5/4 gap is
+/// specific to the single instance, mirroring how [2] needs a bespoke
+/// asymptotic family rather than naive replication.
+[[nodiscard]] Instance gap_instance_replicated(std::size_t copies);
+
+/// The witness DSP packing with peak 4 (start positions; slicing via
+/// SlicedPacking::canonical).
+[[nodiscard]] Packing gap_dsp_witness();
+
+}  // namespace dsp::gen

@@ -1,0 +1,145 @@
+#include "gen/hardness.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "exact/three_partition.hpp"
+#include "util/check.hpp"
+
+namespace dsp::gen {
+
+namespace {
+
+/// Item layout inside the reduction instance (fixed and relied upon by
+/// yes_witness_packing): first k-1 separators, then k fillers, then the 3k
+/// value items in input order.
+constexpr std::size_t kSeparatorBase = 0;
+
+}  // namespace
+
+HardnessInstance three_partition_to_dsp(std::vector<std::int64_t> values,
+                                        std::int64_t target) {
+  DSP_REQUIRE(exact::three_partition_preconditions(values, target),
+              "values violate the 3-Partition preconditions");
+  const std::size_t k = values.size() / 3;
+  const Length width = static_cast<Length>(k) * target +
+                       (static_cast<Length>(k) - 1);
+  std::vector<Item> items;
+  items.reserve((k - 1) + k + values.size());
+  for (std::size_t s = 0; s + 1 < k; ++s) items.push_back(Item{1, 4});
+  for (std::size_t f = 0; f < k; ++f) items.push_back(Item{target, 3});
+  for (const std::int64_t a : values) items.push_back(Item{a, 1});
+
+  HardnessInstance hardness{Instance(width, std::move(items)),
+                            std::move(values), target, false};
+  hardness.is_yes =
+      exact::three_partition(hardness.values, target).has_value();
+  return hardness;
+}
+
+HardnessInstance planted_yes(std::size_t k, std::int64_t target, Rng& rng) {
+  DSP_REQUIRE(k >= 1, "k must be >= 1");
+  DSP_REQUIRE(target >= 8, "target must be >= 8 so (B/4, B/2) is wide enough");
+  // Values strictly between target/4 and target/2.
+  const std::int64_t lo = target / 4 + 1;
+  const std::int64_t hi = (target - 1) / 2;
+  std::vector<std::int64_t> values;
+  values.reserve(3 * k);
+  for (std::size_t g = 0; g < k; ++g) {
+    // Sample a and b so that c = target - a - b also lies in [lo, hi].
+    for (;;) {
+      const std::int64_t a = rng.uniform(lo, hi);
+      const std::int64_t b_lo = std::max(lo, target - a - hi);
+      const std::int64_t b_hi = std::min(hi, target - a - lo);
+      if (b_lo > b_hi) continue;
+      const std::int64_t b = rng.uniform(b_lo, b_hi);
+      const std::int64_t c = target - a - b;
+      values.push_back(a);
+      values.push_back(b);
+      values.push_back(c);
+      break;
+    }
+  }
+  std::shuffle(values.begin(), values.end(), rng.engine());
+  return three_partition_to_dsp(std::move(values), target);
+}
+
+HardnessInstance sampled_no(std::size_t k, std::int64_t target, Rng& rng) {
+  DSP_REQUIRE(k >= 2, "no-instances need k >= 2");
+  DSP_REQUIRE(target >= 16, "target must be >= 16");
+  const std::int64_t lo = target / 4 + 1;
+  const std::int64_t hi = (target - 1) / 2;
+  const auto n = 3 * k;
+  for (int attempt = 0; attempt < 100000; ++attempt) {
+    // Random values in range, then repair the sum to k*target by +-1 nudges.
+    std::vector<std::int64_t> values;
+    values.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) values.push_back(rng.uniform(lo, hi));
+    std::int64_t excess =
+        std::accumulate(values.begin(), values.end(), std::int64_t{0}) -
+        static_cast<std::int64_t>(k) * target;
+    for (std::size_t guard = 0; excess != 0 && guard < 100000; ++guard) {
+      auto& v = values[static_cast<std::size_t>(
+          rng.uniform(0, static_cast<std::int64_t>(n) - 1))];
+      if (excess > 0 && v > lo) {
+        --v;
+        --excess;
+      } else if (excess < 0 && v < hi) {
+        ++v;
+        ++excess;
+      }
+    }
+    if (excess != 0) continue;
+    if (!exact::three_partition(values, target).has_value()) {
+      return three_partition_to_dsp(std::move(values), target);
+    }
+  }
+  DSP_REQUIRE(false, "could not sample a no-instance (k=" << k << ", B="
+                                                          << target << ")");
+}
+
+Instance partition_to_dsp(const std::vector<std::int64_t>& values,
+                          std::int64_t half_sum) {
+  DSP_REQUIRE(half_sum >= 1, "half_sum must be >= 1");
+  const std::int64_t sum =
+      std::accumulate(values.begin(), values.end(), std::int64_t{0});
+  DSP_REQUIRE(sum == 2 * half_sum, "values must sum to 2*half_sum");
+  std::vector<Item> items;
+  items.reserve(values.size());
+  for (const std::int64_t a : values) {
+    DSP_REQUIRE(a >= 1 && a <= half_sum, "value outside [1, half_sum]");
+    items.push_back(Item{a, 1});
+  }
+  return Instance(half_sum, std::move(items));
+}
+
+Packing yes_witness_packing(const HardnessInstance& hardness,
+                            const std::vector<int>& groups) {
+  const std::size_t k = hardness.values.size() / 3;
+  DSP_REQUIRE(groups.size() == hardness.values.size(),
+              "group assignment size mismatch");
+  const std::int64_t target = hardness.target;
+  Packing packing;
+  packing.start.resize(hardness.instance.size());
+  // Windows g in [0, k): columns [g*(B+1), g*(B+1)+B); separators between.
+  for (std::size_t s = 0; s + 1 < k; ++s) {
+    packing.start[kSeparatorBase + s] =
+        static_cast<Length>(s) * (target + 1) + target;
+  }
+  for (std::size_t f = 0; f < k; ++f) {
+    packing.start[(k - 1) + f] = static_cast<Length>(f) * (target + 1);
+  }
+  std::vector<Length> cursor(k);
+  for (std::size_t g = 0; g < k; ++g) {
+    cursor[g] = static_cast<Length>(g) * (target + 1);
+  }
+  for (std::size_t i = 0; i < hardness.values.size(); ++i) {
+    const auto g = static_cast<std::size_t>(groups[i]);
+    DSP_REQUIRE(g < k, "group index out of range");
+    packing.start[(k - 1) + k + i] = cursor[g];
+    cursor[g] += hardness.values[i];
+  }
+  return packing;
+}
+
+}  // namespace dsp::gen

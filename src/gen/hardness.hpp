@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/packing.hpp"
+#include "util/prng.hpp"
+
+namespace dsp::gen {
+
+/// The hardness family behind Theorem 1 (3-Partition -> PTS on 4 machines ->
+/// DSP via the transformation), experiment E4.
+///
+/// Construction for values a_1..a_3k with target B (sum = k*B):
+///   strip width  W = k*B + (k-1)
+///   separators   (k-1) items of width 1, height 4
+///   fillers      k items of width B, height 3 (a filler cannot overlap a
+///                separator under peak 4)
+///   value items  3k items of width a_i, height 1 (total area is exactly
+///                4*W, so a peak-4 packing must be perfect)
+///
+/// Forward direction (certified): if the 3-Partition exists, the explicit
+/// witness packing of yes_witness_packing() achieves peak 4, and the area
+/// bound shows 4 is optimal.
+///
+/// Converse caveat (measured, and demonstrated by experiment E4): this
+/// simplified frame does NOT pin the windows — separators may bunch at the
+/// strip edges, merging windows into one block of width k*B that any value
+/// multiset tiles in a single layer.  The full window-pinning gadget is the
+/// contribution of Henning et al. [12], which the paper cites rather than
+/// constructs; reproducing it is out of scope here (see DESIGN.md).  Ground
+/// truth for both directions therefore comes from the exact solver, and the
+/// benchmark reports how often heuristics still pay the 5/4 gap (peak 5)
+/// even though peak 4 is achievable.
+struct HardnessInstance {
+  Instance instance;
+  std::vector<std::int64_t> values;
+  std::int64_t target = 0;
+  /// Ground truth: does the 3-Partition (and hence a peak-4 packing) exist?
+  bool is_yes = false;
+};
+
+/// Builds the reduction instance from explicit 3-Partition data.  `is_yes`
+/// is decided with the exact 3-Partition solver (small k only).
+[[nodiscard]] HardnessInstance three_partition_to_dsp(
+    std::vector<std::int64_t> values, std::int64_t target);
+
+/// Planted yes-instance: k random triples each summing to B with every value
+/// in (B/4, B/2).  Requires B >= 8.
+[[nodiscard]] HardnessInstance planted_yes(std::size_t k, std::int64_t target,
+                                           Rng& rng);
+
+/// Random instance whose VALUES admit no 3-Partition (same preconditions:
+/// sum k*B, values in (B/4, B/2)); found by rejection sampling with the
+/// exact 3-Partition solver.  Note: per the converse caveat above, the DSP
+/// instance itself still packs at peak 4 through merged windows — the
+/// benchmark uses these to demonstrate exactly that phenomenon.
+[[nodiscard]] HardnessInstance sampled_no(std::size_t k, std::int64_t target,
+                                          Rng& rng);
+
+/// The weakly NP-hard cousin used in tests: Partition values a_i (sum 2B)
+/// into a DSP instance of width B with unit heights — peak 2 iff a perfect
+/// 2-partition exists (via the Thm.-1 duality with m = 2 machines).
+[[nodiscard]] Instance partition_to_dsp(const std::vector<std::int64_t>& values,
+                                        std::int64_t half_sum);
+
+/// For a feasible 3-Partition assignment, the explicit peak-4 packing the
+/// reduction promises (used to verify the forward direction constructively).
+[[nodiscard]] Packing yes_witness_packing(const HardnessInstance& hardness,
+                                          const std::vector<int>& groups);
+
+}  // namespace dsp::gen

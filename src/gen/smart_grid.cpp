@@ -1,0 +1,42 @@
+#include "gen/smart_grid.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace dsp::gen {
+
+const std::vector<Appliance>& default_catalog() {
+  // Durations in 15-minute slots, powers in 100 W.
+  static const std::vector<Appliance> catalog = {
+      {"dishwasher", 4, 8, 12, 18, 3.0},
+      {"washing-machine", 4, 8, 5, 22, 3.0},
+      {"dryer", 3, 6, 20, 30, 2.0},
+      {"oven", 2, 6, 20, 36, 2.0},
+      {"heat-pump", 8, 24, 10, 35, 1.5},
+      {"ev-charger", 8, 32, 70, 110, 1.0},
+      {"pool-pump", 12, 24, 8, 12, 0.5},
+  };
+  return catalog;
+}
+
+Instance smart_grid(std::size_t n, Length horizon_slots, Rng& rng,
+                    const std::vector<Appliance>& catalog) {
+  DSP_REQUIRE(!catalog.empty(), "empty appliance catalog");
+  DSP_REQUIRE(horizon_slots >= 1, "degenerate horizon");
+  std::vector<double> weights;
+  weights.reserve(catalog.size());
+  for (const Appliance& a : catalog) weights.push_back(a.weight);
+  std::vector<Item> items;
+  items.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Appliance& a = catalog[rng.weighted(weights)];
+    const Length slots =
+        std::min(horizon_slots, rng.uniform(a.min_slots, a.max_slots));
+    const Height power = rng.uniform(a.min_power, a.max_power);
+    items.push_back(Item{slots, power});
+  }
+  return Instance(horizon_slots, std::move(items));
+}
+
+}  // namespace dsp::gen

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "util/prng.hpp"
+
+namespace dsp::gen {
+
+/// Synthetic smart-grid workloads matching the paper's motivation (§1):
+/// shiftable household appliances with a duration (strip width units are
+/// 15-minute slots) and a power draw (heights in units of 100 W).
+/// See DESIGN.md substitution 5: the paper uses no real traces, so the
+/// catalog below is the closest synthetic equivalent.
+struct Appliance {
+  std::string name;
+  Length min_slots;
+  Length max_slots;
+  Height min_power;  ///< in 100 W
+  Height max_power;  ///< in 100 W
+  double weight;     ///< relative sampling frequency
+};
+
+/// The default household catalog (dishwasher, washer, dryer, oven, heat
+/// pump, EV charger, pool pump).
+[[nodiscard]] const std::vector<Appliance>& default_catalog();
+
+/// Samples `n` appliance runs over a horizon of `horizon_slots` (e.g. 96
+/// slots = one day at 15-minute resolution).
+[[nodiscard]] Instance smart_grid(std::size_t n, Length horizon_slots, Rng& rng,
+                                  const std::vector<Appliance>& catalog =
+                                      default_catalog());
+
+}  // namespace dsp::gen

@@ -1,0 +1,158 @@
+#include "lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace dsp::lp {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Tableau-based primal simplex with Bland's rule on an equality-form LP
+/// whose initial basis is given (artificial or slack columns).
+class Tableau {
+ public:
+  Tableau(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), t_(rows + 1, std::vector<double>(cols + 1, 0.0)),
+        basis_(rows) {}
+
+  std::vector<std::vector<double>>& data() { return t_; }
+  std::vector<std::size_t>& basis() { return basis_; }
+
+  /// Minimizes the objective encoded in the last row.  Returns false when
+  /// unbounded.
+  bool iterate() {
+    for (;;) {
+      // Bland's rule: entering column = lowest index with negative reduced
+      // cost.
+      std::size_t pivot_col = cols_;
+      for (std::size_t j = 0; j < cols_; ++j) {
+        if (t_[rows_][j] < -kEps) {
+          pivot_col = j;
+          break;
+        }
+      }
+      if (pivot_col == cols_) return true;  // optimal
+      // Ratio test; ties broken by lowest basis index (Bland).
+      std::size_t pivot_row = rows_;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < rows_; ++i) {
+        if (t_[i][pivot_col] > kEps) {
+          const double ratio = t_[i][cols_] / t_[i][pivot_col];
+          if (ratio < best_ratio - kEps ||
+              (ratio < best_ratio + kEps &&
+               (pivot_row == rows_ || basis_[i] < basis_[pivot_row]))) {
+            best_ratio = ratio;
+            pivot_row = i;
+          }
+        }
+      }
+      if (pivot_row == rows_) return false;  // unbounded
+      pivot(pivot_row, pivot_col);
+    }
+  }
+
+  void pivot(std::size_t row, std::size_t col) {
+    const double p = t_[row][col];
+    for (double& v : t_[row]) v /= p;
+    for (std::size_t i = 0; i <= rows_; ++i) {
+      if (i == row) continue;
+      const double f = t_[i][col];
+      if (std::abs(f) < kEps) continue;
+      for (std::size_t j = 0; j <= cols_; ++j) {
+        t_[i][j] -= f * t_[row][j];
+      }
+    }
+    basis_[row] = col;
+  }
+
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<std::vector<double>> t_;
+  std::vector<std::size_t> basis_;
+};
+
+}  // namespace
+
+LpSolution solve(const LpProblem& problem) {
+  const std::size_t rows = problem.a.size();
+  const std::size_t cols = problem.c.size();
+  DSP_REQUIRE(problem.b.size() == rows, "LP: |b| != rows");
+  for (const auto& row : problem.a) {
+    DSP_REQUIRE(row.size() == cols, "LP: ragged constraint matrix");
+  }
+
+  // Phase 1: artificial variable per row, minimize their sum.
+  Tableau tab(rows, cols + rows);
+  auto& t = tab.data();
+  for (std::size_t i = 0; i < rows; ++i) {
+    const double sign = problem.b[i] < 0 ? -1.0 : 1.0;
+    for (std::size_t j = 0; j < cols; ++j) t[i][j] = sign * problem.a[i][j];
+    t[i][cols + i] = 1.0;
+    t[i][cols + rows] = sign * problem.b[i];
+    tab.basis()[i] = cols + i;
+  }
+  // Phase-1 objective row: sum of artificial rows, negated into reduced form.
+  for (std::size_t j = 0; j <= cols + rows; ++j) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < rows; ++i) sum += t[i][j];
+    t[rows][j] = (j >= cols && j < cols + rows) ? 0.0 : -sum;
+  }
+  LpSolution solution;
+  if (!tab.iterate()) {
+    solution.status = LpStatus::kInfeasible;  // phase 1 cannot be unbounded
+    return solution;
+  }
+  if (t[rows][cols + rows] < -1e-6) {
+    solution.status = LpStatus::kInfeasible;
+    return solution;
+  }
+  // Drive any artificial variables out of the basis when possible.
+  for (std::size_t i = 0; i < rows; ++i) {
+    if (tab.basis()[i] >= cols) {
+      for (std::size_t j = 0; j < cols; ++j) {
+        if (std::abs(t[i][j]) > kEps) {
+          tab.pivot(i, j);
+          break;
+        }
+      }
+    }
+  }
+
+  // Phase 2: rebuild the objective row from c over the current basis.
+  for (std::size_t j = 0; j <= cols + rows; ++j) t[rows][j] = 0.0;
+  for (std::size_t j = 0; j < cols; ++j) t[rows][j] = problem.c[j];
+  // Forbid artificial columns from re-entering.
+  for (std::size_t j = cols; j < cols + rows; ++j) t[rows][j] = 1e18;
+  // Reduce the objective row against the basis.
+  for (std::size_t i = 0; i < rows; ++i) {
+    const std::size_t bj = tab.basis()[i];
+    const double f = t[rows][bj];
+    if (std::abs(f) < kEps) continue;
+    for (std::size_t j = 0; j <= cols + rows; ++j) t[rows][j] -= f * t[i][j];
+  }
+  if (!tab.iterate()) {
+    solution.status = LpStatus::kUnbounded;
+    return solution;
+  }
+
+  solution.status = LpStatus::kOptimal;
+  solution.x.assign(cols, 0.0);
+  for (std::size_t i = 0; i < rows; ++i) {
+    if (tab.basis()[i] < cols) {
+      solution.x[tab.basis()[i]] = std::max(0.0, t[i][cols + rows]);
+    }
+  }
+  solution.objective = 0.0;
+  for (std::size_t j = 0; j < cols; ++j) {
+    solution.objective += problem.c[j] * solution.x[j];
+  }
+  solution.basis = tab.basis();
+  return solution;
+}
+
+}  // namespace dsp::lp

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dsp::lp {
+
+/// Dense two-phase primal simplex for the configuration LPs of Lemmas 10
+/// and 11: minimize c^T x subject to A x = b, x >= 0.
+///
+/// The paper's configuration LPs are small (rows = #boxes + #item classes)
+/// but may have many columns (#configurations); dense tableaus with Bland's
+/// anti-cycling rule are entirely adequate and keep the implementation
+/// dependency-free.  The solver returns a *basic* solution — exactly what
+/// Lemma 10/11 rely on ("a basic solution with at most |H| + |B| non-zero
+/// components").
+enum class LpStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+};
+
+struct LpProblem {
+  /// Row-major constraint matrix, size rows x cols.
+  std::vector<std::vector<double>> a;
+  std::vector<double> b;  ///< right-hand side, size rows (made >= 0 internally)
+  std::vector<double> c;  ///< objective, size cols
+};
+
+struct LpSolution {
+  LpStatus status = LpStatus::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> x;           ///< primal values (basic solution)
+  std::vector<std::size_t> basis;  ///< basic column per row
+};
+
+/// Solves the LP.  Throws InvalidInput on malformed dimensions.
+[[nodiscard]] LpSolution solve(const LpProblem& problem);
+
+}  // namespace dsp::lp

@@ -1,0 +1,106 @@
+#include "pts/pts.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace dsp::pts {
+
+PtsInstance::PtsInstance(int num_machines, std::vector<Job> jobs)
+    : num_machines_(num_machines), jobs_(std::move(jobs)) {
+  DSP_REQUIRE(num_machines_ >= 1, "PTS needs at least one machine");
+  for (std::size_t j = 0; j < jobs_.size(); ++j) {
+    DSP_REQUIRE(jobs_[j].time >= 1, "job " << j << " has processing time < 1");
+    DSP_REQUIRE(jobs_[j].machines >= 1 && jobs_[j].machines <= num_machines_,
+                "job " << j << " requires " << jobs_[j].machines
+                       << " machines of " << num_machines_);
+  }
+}
+
+std::int64_t PtsInstance::total_work() const {
+  std::int64_t work = 0;
+  for (const Job& j : jobs_) work += j.time * j.machines;
+  return work;
+}
+
+Time PtsInstance::work_lower_bound() const {
+  return (total_work() + num_machines_ - 1) / num_machines_;
+}
+
+Time PtsInstance::max_time() const {
+  Time t = 0;
+  for (const Job& j : jobs_) t = std::max(t, j.time);
+  return t;
+}
+
+Time makespan(const PtsInstance& instance, const MachineSchedule& schedule) {
+  DSP_REQUIRE(schedule.start.size() == instance.size(),
+              "schedule start count mismatch");
+  Time end = 0;
+  for (std::size_t j = 0; j < instance.size(); ++j) {
+    end = std::max(end, schedule.start[j] + instance.job(j).time);
+  }
+  return end;
+}
+
+std::optional<std::string> validate(const PtsInstance& instance,
+                                    const MachineSchedule& schedule) {
+  if (schedule.start.size() != instance.size() ||
+      schedule.machines.size() != instance.size()) {
+    return "schedule arrays do not match the instance size";
+  }
+  // Per-job checks.
+  for (std::size_t j = 0; j < instance.size(); ++j) {
+    const Job& job = instance.job(j);
+    if (schedule.start[j] < 0) {
+      std::ostringstream oss;
+      oss << "job " << j << " starts before time 0";
+      return oss.str();
+    }
+    const auto& ms = schedule.machines[j];
+    if (static_cast<int>(ms.size()) != job.machines) {
+      std::ostringstream oss;
+      oss << "job " << j << " assigned " << ms.size() << " machines, needs "
+          << job.machines;
+      return oss.str();
+    }
+    std::vector<int> sorted = ms;
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+      std::ostringstream oss;
+      oss << "job " << j << " lists a machine twice";
+      return oss.str();
+    }
+    if (!sorted.empty() &&
+        (sorted.front() < 0 || sorted.back() >= instance.num_machines())) {
+      std::ostringstream oss;
+      oss << "job " << j << " uses a machine id outside [0, "
+          << instance.num_machines() << ")";
+      return oss.str();
+    }
+  }
+  // Per-machine timelines: intervals on the same machine must be disjoint.
+  std::map<int, std::vector<std::pair<Time, Time>>> timeline;
+  for (std::size_t j = 0; j < instance.size(); ++j) {
+    for (const int m : schedule.machines[j]) {
+      timeline[m].emplace_back(schedule.start[j],
+                               schedule.start[j] + instance.job(j).time);
+    }
+  }
+  for (auto& [machine, intervals] : timeline) {
+    std::sort(intervals.begin(), intervals.end());
+    for (std::size_t k = 1; k < intervals.size(); ++k) {
+      if (intervals[k].first < intervals[k - 1].second) {
+        std::ostringstream oss;
+        oss << "machine " << machine << " double-booked around time "
+            << intervals[k].first;
+        return oss.str();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace dsp::pts

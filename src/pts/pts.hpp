@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dsp::pts {
+
+/// Time quantities in the scheduling view (the transformation maps them to
+/// strip x-coordinates, so they share the representation).
+using Time = std::int64_t;
+
+/// A parallel task: runs for `time` units on exactly `machines` machines
+/// simultaneously (paper §2: p(j) and q(j)).
+struct Job {
+  Time time = 0;
+  int machines = 0;
+
+  [[nodiscard]] bool operator==(const Job&) const = default;
+};
+
+/// A Parallel Task Scheduling instance: m machines and n rigid jobs.
+class PtsInstance {
+ public:
+  PtsInstance(int num_machines, std::vector<Job> jobs);
+
+  [[nodiscard]] int num_machines() const { return num_machines_; }
+  [[nodiscard]] std::size_t size() const { return jobs_.size(); }
+  [[nodiscard]] const Job& job(std::size_t index) const { return jobs_[index]; }
+  [[nodiscard]] std::span<const Job> jobs() const { return jobs_; }
+
+  /// Sum of time * machines over all jobs (the "work" lower-bound numerator).
+  [[nodiscard]] std::int64_t total_work() const;
+  /// ceil(total_work / m), the average-load bound on the makespan.
+  [[nodiscard]] Time work_lower_bound() const;
+  /// Longest single job.
+  [[nodiscard]] Time max_time() const;
+
+ private:
+  int num_machines_;
+  std::vector<Job> jobs_;
+};
+
+/// A schedule: the pair (sigma, rho) from paper §2 — start times plus the
+/// explicit set of machines each job runs on.
+struct MachineSchedule {
+  std::vector<Time> start;                 ///< sigma(j)
+  std::vector<std::vector<int>> machines;  ///< rho(j), machine ids in [0, m)
+};
+
+/// Latest finishing time of any job (0 for empty schedules).
+[[nodiscard]] Time makespan(const PtsInstance& instance, const MachineSchedule& schedule);
+
+/// Full validation: every job has exactly q(j) distinct machines in range and
+/// no machine runs two jobs at once.  Returns the first violation found.
+[[nodiscard]] std::optional<std::string> validate(const PtsInstance& instance,
+                                                  const MachineSchedule& schedule);
+
+}  // namespace dsp::pts

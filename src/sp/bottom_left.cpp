@@ -1,0 +1,102 @@
+#include "sp/bottom_left.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace dsp::sp {
+
+namespace {
+
+/// Skyline as piecewise-constant heights: segment i spans
+/// [xs[i], xs[i+1]) at height hs[i]; xs.front()==0, sentinel xs.back()==W.
+struct Skyline {
+  std::vector<Length> xs;
+  std::vector<Height> hs;
+
+  explicit Skyline(Length width) : xs{0, width}, hs{0} {}
+
+  /// Max height over [x, x+w).
+  [[nodiscard]] Height roof(Length x, Length w) const {
+    Height top = 0;
+    for (std::size_t s = 0; s + 1 < xs.size(); ++s) {
+      if (xs[s + 1] <= x) continue;
+      if (xs[s] >= x + w) break;
+      top = std::max(top, hs[s]);
+    }
+    return top;
+  }
+
+  /// Raise [x, x+w) to height y (y must be >= current roof there).
+  void place(Length x, Length w, Height y) {
+    // Insert breakpoints at x and x+w, then overwrite the covered segments.
+    insert_break(x);
+    insert_break(x + w);
+    for (std::size_t s = 0; s + 1 < xs.size(); ++s) {
+      if (xs[s] >= x && xs[s + 1] <= x + w) hs[s] = y;
+    }
+    coalesce();
+  }
+
+ private:
+  void insert_break(Length x) {
+    for (std::size_t s = 0; s + 1 < xs.size(); ++s) {
+      if (xs[s] == x) return;
+      if (xs[s] < x && x < xs[s + 1]) {
+        xs.insert(xs.begin() + static_cast<std::ptrdiff_t>(s) + 1, x);
+        hs.insert(hs.begin() + static_cast<std::ptrdiff_t>(s) + 1, hs[s]);
+        return;
+      }
+    }
+  }
+
+  void coalesce() {
+    for (std::size_t s = 0; s + 1 < hs.size();) {
+      if (hs[s] == hs[s + 1]) {
+        xs.erase(xs.begin() + static_cast<std::ptrdiff_t>(s) + 1);
+        hs.erase(hs.begin() + static_cast<std::ptrdiff_t>(s) + 1);
+      } else {
+        ++s;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+SpPacking bottom_left(const Instance& instance) {
+  const Length w = instance.strip_width();
+  std::vector<std::size_t> order(instance.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const Item& ia = instance.item(a);
+    const Item& ib = instance.item(b);
+    if (ia.height != ib.height) return ia.height > ib.height;
+    if (ia.width != ib.width) return ia.width > ib.width;
+    return a < b;
+  });
+
+  SpPacking packing;
+  packing.position.resize(instance.size());
+  Skyline skyline(w);
+  for (const std::size_t i : order) {
+    const Item& it = instance.item(i);
+    // Candidate x positions: skyline breakpoints (left-justified placements).
+    Length best_x = 0;
+    Height best_y = skyline.roof(0, it.width);
+    for (std::size_t s = 1; s + 1 < skyline.xs.size(); ++s) {
+      const Length x = skyline.xs[s];
+      if (x + it.width > w) break;
+      const Height y = skyline.roof(x, it.width);
+      if (y < best_y) {
+        best_y = y;
+        best_x = x;
+      }
+    }
+    packing.position[i] = SpPlacement{best_x, best_y};
+    skyline.place(best_x, it.width, best_y + it.height);
+  }
+  return packing;
+}
+
+}  // namespace dsp::sp

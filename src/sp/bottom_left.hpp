@@ -1,0 +1,13 @@
+#pragma once
+
+#include "sp/sp.hpp"
+
+namespace dsp::sp {
+
+/// Bottom-left skyline heuristic: items in non-increasing height order are
+/// placed at the lowest (then leftmost) skyline position that fits.  Not a
+/// bounded-ratio algorithm, but the strongest practical SP comparator in the
+/// integrality-gap experiments (E1) and a second SP-as-DSP baseline.
+[[nodiscard]] SpPacking bottom_left(const Instance& instance);
+
+}  // namespace dsp::sp

@@ -1,0 +1,76 @@
+#include "sp/shelf.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dsp::sp {
+
+namespace {
+
+/// Item indices sorted by non-increasing height (ties: wider first, then by
+/// index for determinism).
+std::vector<std::size_t> by_decreasing_height(const Instance& instance) {
+  std::vector<std::size_t> order(instance.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const Item& ia = instance.item(a);
+    const Item& ib = instance.item(b);
+    if (ia.height != ib.height) return ia.height > ib.height;
+    if (ia.width != ib.width) return ia.width > ib.width;
+    return a < b;
+  });
+  return order;
+}
+
+}  // namespace
+
+SpPacking nfdh(const Instance& instance) {
+  SpPacking packing;
+  packing.position.resize(instance.size());
+  Height shelf_y = 0;       // bottom of the open shelf
+  Height shelf_height = 0;  // height of the first (tallest) item on it
+  Length cursor = 0;        // next free x on the open shelf
+  for (const std::size_t i : by_decreasing_height(instance)) {
+    const Item& it = instance.item(i);
+    if (cursor + it.width > instance.strip_width()) {
+      shelf_y += shelf_height;
+      shelf_height = 0;
+      cursor = 0;
+    }
+    if (shelf_height == 0) shelf_height = it.height;
+    packing.position[i] = SpPlacement{cursor, shelf_y};
+    cursor += it.width;
+  }
+  return packing;
+}
+
+SpPacking ffdh(const Instance& instance) {
+  struct Shelf {
+    Height y;
+    Length used;
+  };
+  SpPacking packing;
+  packing.position.resize(instance.size());
+  std::vector<Shelf> shelves;
+  Height top = 0;
+  for (const std::size_t i : by_decreasing_height(instance)) {
+    const Item& it = instance.item(i);
+    bool placed = false;
+    for (Shelf& shelf : shelves) {
+      if (shelf.used + it.width <= instance.strip_width()) {
+        packing.position[i] = SpPlacement{shelf.used, shelf.y};
+        shelf.used += it.width;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      shelves.push_back(Shelf{top, it.width});
+      packing.position[i] = SpPlacement{0, top};
+      top += it.height;  // first item on a shelf is its tallest
+    }
+  }
+  return packing;
+}
+
+}  // namespace dsp::sp

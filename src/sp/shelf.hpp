@@ -1,0 +1,19 @@
+#pragma once
+
+#include "sp/sp.hpp"
+
+namespace dsp::sp {
+
+/// Shelf algorithms of Coffman, Garey, Johnson, Tarjan [17].
+///
+/// NFDH — Next-Fit Decreasing Height: items sorted by non-increasing height
+/// fill the current shelf left to right; when an item does not fit, a new
+/// shelf opens above.  Guarantee used throughout the paper's Lemmas 13/14:
+///   NFDH height <= 2 * area / W + h_max.
+[[nodiscard]] SpPacking nfdh(const Instance& instance);
+
+/// FFDH — First-Fit Decreasing Height: like NFDH but each item goes on the
+/// lowest earlier shelf with enough residual width (ratio 1.7 + o(1)).
+[[nodiscard]] SpPacking ffdh(const Instance& instance);
+
+}  // namespace dsp::sp

@@ -1,0 +1,80 @@
+#include "sp/sleator.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dsp::sp {
+
+SpPacking sleator(const Instance& instance) {
+  const Length w = instance.strip_width();
+  SpPacking packing;
+  packing.position.resize(instance.size());
+
+  // Step 1: stack the wide items (width > W/2) at the bottom.
+  Height h0 = 0;
+  std::vector<std::size_t> narrow;
+  for (std::size_t i = 0; i < instance.size(); ++i) {
+    if (2 * instance.item(i).width > w) {
+      packing.position[i] = SpPlacement{0, h0};
+      h0 += instance.item(i).height;
+    } else {
+      narrow.push_back(i);
+    }
+  }
+  std::sort(narrow.begin(), narrow.end(), [&](std::size_t a, std::size_t b) {
+    const Item& ia = instance.item(a);
+    const Item& ib = instance.item(b);
+    if (ia.height != ib.height) return ia.height > ib.height;
+    return a < b;
+  });
+
+  // Step 2: one full-width level at y = h0.
+  std::size_t next = 0;
+  Length cursor = 0;
+  while (next < narrow.size() &&
+         cursor + instance.item(narrow[next]).width <= w) {
+    packing.position[narrow[next]] = SpPlacement{cursor, h0};
+    cursor += instance.item(narrow[next]).width;
+    ++next;
+  }
+
+  // Tops of the two halves after the first level: a half is covered up to
+  // h0 + (height of the tallest level item intersecting it).
+  const Length half = w / 2;
+  Height top_left = h0;
+  Height top_right = h0;
+  {
+    Length x = 0;
+    for (std::size_t k = 0; k < next; ++k) {
+      const Item& it = instance.item(narrow[k]);
+      if (x < half) top_left = std::max(top_left, h0 + it.height);
+      if (x + it.width > half) top_right = std::max(top_right, h0 + it.height);
+      x += it.width;
+    }
+  }
+
+  // Step 3: rows of width <= W/2 onto whichever half is lower.  Every
+  // remaining item has width <= W/2, so each row holds at least one item.
+  while (next < narrow.size()) {
+    const bool left = top_left <= top_right;
+    const Length x0 = left ? 0 : half;
+    const Length limit = left ? half : w;
+    Height row_y = left ? top_left : top_right;
+    Height row_height = instance.item(narrow[next]).height;  // tallest first
+    Length x = x0;
+    while (next < narrow.size() &&
+           x + instance.item(narrow[next]).width <= limit) {
+      packing.position[narrow[next]] = SpPlacement{x, row_y};
+      x += instance.item(narrow[next]).width;
+      ++next;
+    }
+    if (left) {
+      top_left = row_y + row_height;
+    } else {
+      top_right = row_y + row_height;
+    }
+  }
+  return packing;
+}
+
+}  // namespace dsp::sp

@@ -1,0 +1,19 @@
+#pragma once
+
+#include "sp/sp.hpp"
+
+namespace dsp::sp {
+
+/// Sleator's strip-packing algorithm [26] (ratio 2.5):
+///
+///  1. items wider than W/2 are stacked at the bottom (height h0);
+///  2. the rest, by non-increasing height, fill one level at y = h0;
+///  3. the strip is split into halves at W/2 and subsequent rows always go
+///     onto the half with the currently lower top.
+///
+/// In this repo Sleator + the NFDH area bound stand in for Steinberg [27]
+/// (see DESIGN.md substitution 1): they provide the constant-factor upper
+/// bounds the paper takes from Steinberg, and the SP-as-DSP baseline.
+[[nodiscard]] SpPacking sleator(const Instance& instance);
+
+}  // namespace dsp::sp

@@ -1,0 +1,59 @@
+#include "sp/sp.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace dsp::sp {
+
+Height packing_height(const Instance& instance, const SpPacking& packing) {
+  DSP_REQUIRE(packing.position.size() == instance.size(),
+              "SP packing size mismatch");
+  Height top = 0;
+  for (std::size_t i = 0; i < instance.size(); ++i) {
+    top = std::max(top, packing.position[i].y + instance.item(i).height);
+  }
+  return top;
+}
+
+std::optional<std::string> validate(const Instance& instance,
+                                    const SpPacking& packing) {
+  if (packing.position.size() != instance.size()) {
+    return "SP packing size differs from instance size";
+  }
+  for (std::size_t i = 0; i < instance.size(); ++i) {
+    const SpPlacement& p = packing.position[i];
+    const Item& it = instance.item(i);
+    if (p.x < 0 || p.x + it.width > instance.strip_width() || p.y < 0) {
+      std::ostringstream oss;
+      oss << "item " << i << " outside the strip";
+      return oss.str();
+    }
+  }
+  for (std::size_t i = 0; i < instance.size(); ++i) {
+    for (std::size_t j = i + 1; j < instance.size(); ++j) {
+      const SpPlacement& a = packing.position[i];
+      const SpPlacement& b = packing.position[j];
+      const Item& ia = instance.item(i);
+      const Item& ib = instance.item(j);
+      const bool x_overlap = a.x < b.x + ib.width && b.x < a.x + ia.width;
+      const bool y_overlap = a.y < b.y + ib.height && b.y < a.y + ia.height;
+      if (x_overlap && y_overlap) {
+        std::ostringstream oss;
+        oss << "items " << i << " and " << j << " overlap";
+        return oss.str();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+Packing as_dsp(const SpPacking& packing) {
+  Packing result;
+  result.start.reserve(packing.position.size());
+  for (const SpPlacement& p : packing.position) result.start.push_back(p.x);
+  return result;
+}
+
+}  // namespace dsp::sp

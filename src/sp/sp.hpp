@@ -1,0 +1,37 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/packing.hpp"
+
+namespace dsp::sp {
+
+/// Classical (contiguous, unsliced) Strip Packing: every item is an axis-
+/// aligned rectangle placed integrally.  DSP relaxes this by slicing; the
+/// integrality-gap experiments (paper Fig. 1, [2]) compare the two.
+struct SpPlacement {
+  Length x = 0;
+  Height y = 0;
+
+  [[nodiscard]] bool operator==(const SpPlacement&) const = default;
+};
+
+struct SpPacking {
+  std::vector<SpPlacement> position;
+};
+
+/// Height of the packing: max over items of y + h.
+[[nodiscard]] Height packing_height(const Instance& instance, const SpPacking& packing);
+
+/// Full validation: items inside the strip, pairwise non-overlapping.
+[[nodiscard]] std::optional<std::string> validate(const Instance& instance,
+                                                  const SpPacking& packing);
+
+/// Forgetting the y-coordinates turns any SP packing into a DSP packing with
+/// peak at most the SP height — the "SP algorithms apply to DSP" direction
+/// discussed in the paper's related work.
+[[nodiscard]] Packing as_dsp(const SpPacking& packing);
+
+}  // namespace dsp::sp

@@ -1,0 +1,113 @@
+#include "transform/transform.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "util/check.hpp"
+
+namespace dsp::transform {
+
+Instance pts_to_dsp_instance(const pts::PtsInstance& instance, Length strip_width) {
+  std::vector<Item> items;
+  items.reserve(instance.size());
+  for (const pts::Job& job : instance.jobs()) {
+    DSP_REQUIRE(job.time <= strip_width,
+                "job longer than the strip width (makespan bound)");
+    items.push_back(Item{job.time, job.machines});
+  }
+  return Instance(strip_width, std::move(items));
+}
+
+pts::PtsInstance dsp_to_pts_instance(const Instance& instance, int num_machines) {
+  std::vector<pts::Job> jobs;
+  jobs.reserve(instance.size());
+  for (const Item& it : instance.items()) {
+    DSP_REQUIRE(it.height <= num_machines,
+                "item height " << it.height << " exceeds machine count "
+                               << num_machines);
+    jobs.push_back(pts::Job{it.width, static_cast<int>(it.height)});
+  }
+  return pts::PtsInstance(num_machines, std::move(jobs));
+}
+
+Packing schedule_to_packing(const pts::MachineSchedule& schedule) {
+  return Packing{schedule.start};
+}
+
+std::optional<pts::MachineSchedule> packing_to_schedule(const Instance& instance,
+                                                        const Packing& packing,
+                                                        int num_machines) {
+  if (auto err = feasibility_error(instance, packing)) {
+    DSP_REQUIRE(false, "packing_to_schedule on invalid packing: " << *err);
+  }
+  for (const Item& it : instance.items()) {
+    if (it.height > num_machines) return std::nullopt;
+  }
+  const std::size_t n = instance.size();
+
+  // Items ordered by start time; ties broken by index (the sweep of Fig. 3).
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (packing.start[a] != packing.start[b]) {
+      return packing.start[a] < packing.start[b];
+    }
+    return a < b;
+  });
+
+  // Running items ordered by end time so machines are released lazily.
+  std::vector<std::size_t> running = order;
+  std::sort(running.begin(), running.end(), [&](std::size_t a, std::size_t b) {
+    const Length ea = packing.start[a] + instance.item(a).width;
+    const Length eb = packing.start[b] + instance.item(b).width;
+    if (ea != eb) return ea < eb;
+    return a < b;
+  });
+
+  std::set<int> free;
+  for (int m = 0; m < num_machines; ++m) free.insert(m);
+
+  pts::MachineSchedule schedule;
+  schedule.start = packing.start;
+  schedule.machines.resize(n);
+
+  std::size_t release_cursor = 0;
+  for (const std::size_t i : order) {
+    const Length t = packing.start[i];
+    // Release machines of items that finished by time t.
+    while (release_cursor < n) {
+      const std::size_t r = running[release_cursor];
+      const Length end = packing.start[r] + instance.item(r).width;
+      if (end > t) break;
+      for (const int m : schedule.machines[r]) free.insert(m);
+      ++release_cursor;
+    }
+    const auto need = static_cast<std::size_t>(instance.item(i).height);
+    if (free.size() < need) {
+      // The paper's invariant says this happens exactly when peak > m.
+      return std::nullopt;
+    }
+    auto& mine = schedule.machines[i];
+    mine.reserve(need);
+    auto it = free.begin();
+    for (std::size_t k = 0; k < need; ++k) {
+      mine.push_back(*it);
+      it = free.erase(it);
+    }
+  }
+  return schedule;
+}
+
+SlicedPacking schedule_to_sliced_packing(const pts::PtsInstance& pts_instance,
+                                         const pts::MachineSchedule& schedule,
+                                         Length strip_width) {
+  if (auto err = pts::validate(pts_instance, schedule)) {
+    DSP_REQUIRE(false, "schedule_to_sliced_packing on invalid schedule: " << *err);
+  }
+  const Instance dsp_instance = pts_to_dsp_instance(pts_instance, strip_width);
+  const Packing packing = schedule_to_packing(schedule);
+  return SlicedPacking::canonical(dsp_instance, packing);
+}
+
+}  // namespace dsp::transform

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <optional>
+
+#include "core/packing.hpp"
+#include "core/sliced.hpp"
+#include "pts/pts.hpp"
+
+namespace dsp::transform {
+
+/// The Theorem-1 correspondence between Demand Strip Packing and Parallel
+/// Task Scheduling:
+///
+///   DSP instance (W, items) has a packing with peak <= H
+///     <=>  PTS instance (m = H machines, jobs (p = w, q = h)) has a
+///          schedule with makespan <= W.
+///
+/// Instance maps are bijections on the item/job data; solution maps realize
+/// the two constructive procedures of the proof (Figs. 2 and 3).
+
+/// Jobs (p, q) -> items (w = p, h = q).  `strip_width` is the makespan bound
+/// T mapped onto the strip width W.
+[[nodiscard]] Instance pts_to_dsp_instance(const pts::PtsInstance& instance,
+                                           Length strip_width);
+
+/// Items (w, h) -> jobs (p = w, q = h) on m = `num_machines` machines.
+/// Requires every height to be at most num_machines (a taller item could
+/// never be scheduled; Theorem 1 maps the peak bound H onto m).
+[[nodiscard]] pts::PtsInstance dsp_to_pts_instance(const Instance& instance,
+                                                   int num_machines);
+
+/// sigma(j) -> lambda(i): start times carry over unchanged.  Combined with
+/// SlicedPacking::canonical this is the PTS -> DSP direction of Thm. 1
+/// (Fig. 2): the canonical sweep performs exactly the "sort items at the
+/// first infeasible point" repair, producing a feasible sliced packing of
+/// height at most m.
+[[nodiscard]] Packing schedule_to_packing(const pts::MachineSchedule& schedule);
+
+/// The DSP -> PTS direction of Thm. 1 (Fig. 3): a left-to-right sweep that
+/// assigns each starting item the lowest-numbered free machines.  Succeeds
+/// and returns a feasible schedule if and only if the packing's peak is at
+/// most `num_machines` (the paper's counting argument: when a job starts, the
+/// number of free machines is at least its requirement).
+///
+/// Returns nullopt when the peak exceeds num_machines.
+[[nodiscard]] std::optional<pts::MachineSchedule> packing_to_schedule(
+    const Instance& instance, const Packing& packing, int num_machines);
+
+/// Convenience: full PTS -> DSP round trip producing the explicit sliced
+/// packing of Fig. 2 (validated, height == max machine index usage bound m).
+[[nodiscard]] SlicedPacking schedule_to_sliced_packing(
+    const pts::PtsInstance& pts_instance, const pts::MachineSchedule& schedule,
+    Length strip_width);
+
+}  // namespace dsp::transform

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dsp {
+
+/// Thrown when an input violates a documented precondition (bad instance,
+/// infeasible packing handed to a validator, ...).  Internal logic errors use
+/// assertions instead.
+class InvalidInput : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_invalid(const std::string& what) {
+  throw InvalidInput(what);
+}
+}  // namespace detail
+
+/// DSP_REQUIRE(cond, streamed-message): precondition check that throws
+/// InvalidInput.  Always active (not compiled out); validation is part of the
+/// library contract, not a debugging aid.
+#define DSP_REQUIRE(cond, msg)                     \
+  do {                                             \
+    if (!(cond)) {                                 \
+      std::ostringstream dsp_require_oss_;         \
+      dsp_require_oss_ << msg;                     \
+      ::dsp::detail::throw_invalid(dsp_require_oss_.str()); \
+    }                                              \
+  } while (false)
+
+}  // namespace dsp

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace dsp {
+
+/// Deterministic pseudo-random source used by all instance generators and
+/// randomized tests.  A thin wrapper over std::mt19937_64 with convenience
+/// samplers; seeding is always explicit so every experiment is reproducible.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  [[nodiscard]] std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  [[nodiscard]] double real(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli trial with success probability p.
+  [[nodiscard]] bool chance(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Index into a discrete distribution given non-negative weights.
+  template <typename Container>
+  [[nodiscard]] std::size_t weighted(const Container& weights) {
+    std::discrete_distribution<std::size_t> d(weights.begin(), weights.end());
+    return d(engine_);
+  }
+
+  [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace dsp

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dsp {
+
+/// Fixed-width text table used by the benchmark harnesses to print the
+/// rows/series each experiment reports (and optionally CSV for downstream
+/// plotting).  Cells are strings; numeric convenience overloads format with
+/// reasonable precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  Table& begin_row();
+  Table& cell(const std::string& value);
+  Table& cell(const char* value);
+  Table& cell(std::int64_t value);
+  Table& cell(std::size_t value);
+  Table& cell(int value);
+  Table& cell(double value, int precision = 4);
+
+  /// Pretty fixed-width rendering.
+  void print(std::ostream& os) const;
+  /// Comma-separated rendering (no escaping; cells must not contain commas).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dsp

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "algo/baselines.hpp"
+#include "algo/portfolio.hpp"
+#include "core/bounds.hpp"
+#include "gen/families.hpp"
+#include "util/check.hpp"
+#include "util/prng.hpp"
+
+namespace dsp {
+namespace {
+
+TEST(GreedyLowestPeak, SpreadsLoad) {
+  // Three 1x1 items on a width-3 strip: peak must be 1.
+  const Instance inst(3, {{1, 1}, {1, 1}, {1, 1}});
+  const Packing packing = algo::greedy_lowest_peak(inst);
+  EXPECT_EQ(peak_height(inst, packing), 1);
+}
+
+TEST(GreedyLowestPeak, HandlesFullWidthItems) {
+  const Instance inst(4, {{4, 2}, {4, 3}});
+  const Packing packing = algo::greedy_lowest_peak(inst);
+  EXPECT_EQ(peak_height(inst, packing), 5);
+}
+
+TEST(FirstFitWithBudget, RespectsBudget) {
+  const Instance inst(4, {{2, 2}, {2, 2}, {2, 2}});
+  const auto ok = algo::first_fit_with_budget(inst, 4);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_LE(peak_height(inst, *ok), 4);
+  // Budget 2 fits only two of the three side by side.
+  EXPECT_FALSE(algo::first_fit_with_budget(inst, 2).has_value());
+}
+
+TEST(FirstFitSearch, FindsMinimalFeasibleBudgetOnEasyCase) {
+  const Instance inst(4, {{2, 2}, {2, 2}, {4, 1}});
+  const Packing packing = algo::first_fit_search(inst);
+  EXPECT_EQ(peak_height(inst, packing), 3);
+}
+
+TEST(EqualWidthFolding, RequiresUniformWidths) {
+  const Instance bad(4, {{2, 1}, {1, 1}});
+  EXPECT_THROW(algo::equal_width_folding(bad), InvalidInput);
+}
+
+TEST(EqualWidthFolding, BalancesColumns) {
+  // Four width-2 items on W=4 -> two columns, LPT balancing.
+  const Instance inst(4, {{2, 5}, {2, 4}, {2, 3}, {2, 2}});
+  const Packing packing = algo::equal_width_folding(inst);
+  EXPECT_EQ(peak_height(inst, packing), 7);  // {5,2} vs {4,3}
+}
+
+TEST(Portfolio, ReturnsBestOfAllBaselines) {
+  Rng rng(5);
+  const Instance inst = gen::random_uniform(20, 30, 15, 8, rng);
+  std::string winner;
+  const Packing best = algo::best_of_portfolio(inst, &winner);
+  const Height best_peak = peak_height(inst, best);
+  EXPECT_FALSE(winner.empty());
+  for (const auto& algorithm : algo::baseline_portfolio()) {
+    EXPECT_LE(best_peak, peak_height(inst, algorithm.run(inst)))
+        << algorithm.name;
+  }
+}
+
+struct FamilyCase {
+  const char* name;
+  Instance (*make)(Rng&);
+};
+
+Instance make_uniform(Rng& rng) {
+  return gen::random_uniform(static_cast<std::size_t>(rng.uniform(1, 40)), 24,
+                             24, 10, rng);
+}
+Instance make_tall(Rng& rng) {
+  return gen::tall_items(static_cast<std::size_t>(rng.uniform(1, 30)), 24, 12,
+                         rng);
+}
+Instance make_wide(Rng& rng) {
+  return gen::wide_items(static_cast<std::size_t>(rng.uniform(1, 30)), 24, 6,
+                         rng);
+}
+Instance make_perfect(Rng& rng) {
+  return gen::perfect_packing(static_cast<std::size_t>(rng.uniform(2, 30)), 24,
+                              12, rng);
+}
+
+class BaselineProperties
+    : public ::testing::TestWithParam<std::tuple<FamilyCase, int>> {};
+
+// Property: every baseline returns a feasible packing whose peak is between
+// the combined lower bound and a loose multiple of it.
+TEST_P(BaselineProperties, FeasibleAndSane) {
+  const auto& [family, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 7919 + 13);
+  const Instance inst = family.make(rng);
+  const Height lb = combined_lower_bound(inst);
+  for (const auto& algorithm : algo::baseline_portfolio()) {
+    const Packing packing = algorithm.run(inst);
+    ASSERT_EQ(feasibility_error(inst, packing), std::nullopt)
+        << family.name << "/" << algorithm.name;
+    const Height peak = peak_height(inst, packing);
+    EXPECT_GE(peak, lb) << family.name << "/" << algorithm.name;
+    EXPECT_LE(peak, 5 * lb) << family.name << "/" << algorithm.name << " "
+                            << inst.summary();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, BaselineProperties,
+    ::testing::Combine(::testing::Values(FamilyCase{"uniform", make_uniform},
+                                         FamilyCase{"tall", make_tall},
+                                         FamilyCase{"wide", make_wide},
+                                         FamilyCase{"perfect", make_perfect}),
+                       ::testing::Range(0, 15)));
+
+// On the perfect-packing family the area bound equals OPT; the portfolio
+// should stay within a small constant of it.
+TEST(Portfolio, NearOptimalOnPerfectFamily) {
+  Rng rng(17);
+  for (int round = 0; round < 10; ++round) {
+    const Instance inst = gen::perfect_packing(25, 40, 20, rng);
+    const Packing best = algo::best_of_portfolio(inst);
+    EXPECT_LE(peak_height(inst, best), 2 * 20) << inst.summary();
+  }
+}
+
+}  // namespace
+}  // namespace dsp

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "augment/augment.hpp"
+#include "core/bounds.hpp"
+#include "exact/dsp_exact.hpp"
+#include "exact/pts_exact.hpp"
+#include "gen/families.hpp"
+#include "transform/transform.hpp"
+#include "util/prng.hpp"
+
+namespace dsp::augment {
+namespace {
+
+TEST(AugmentDspWidth, WidthStaysWithinBudgetAndHeightIsFeasible) {
+  Rng rng(31);
+  for (int round = 0; round < 10; ++round) {
+    const Instance inst = gen::random_uniform(30, 40, 20, 12, rng);
+    const DspWidthAugmentation result = augment_dsp_width(inst, Fraction(1, 8));
+    const Length budget = ceil_mul(inst.strip_width(), Fraction(3, 2) + Fraction(1, 8));
+    EXPECT_LE(result.augmented_width, budget);
+    // The packing is feasible in the augmented strip and meets its height.
+    const Instance wide(result.augmented_width > 0 ? result.augmented_width
+                                                   : inst.strip_width(),
+                        {inst.items().begin(), inst.items().end()});
+    ASSERT_EQ(feasibility_error(wide, result.packing), std::nullopt);
+    EXPECT_LE(peak_height(wide, result.packing), result.height);
+    EXPECT_GE(result.height, inst.max_height());
+  }
+}
+
+TEST(AugmentDspWidth, ReachesOptimalHeightOnSmallInstances) {
+  // Cor. 2 promise: with the width relaxed by 3/2+eps, the returned height
+  // is at most OPT at the original width (measured; the black box is the
+  // portfolio).
+  Rng rng(32);
+  int at_most_opt = 0;
+  int rounds = 0;
+  for (int round = 0; round < 10; ++round) {
+    const Length w = rng.uniform(5, 9);
+    const Instance inst = gen::random_uniform(
+        static_cast<std::size_t>(rng.uniform(3, 6)), w, std::min<Length>(5, w),
+        4, rng);
+    const auto opt = exact::min_peak(inst);
+    if (!opt.proven_optimal) continue;
+    ++rounds;
+    const DspWidthAugmentation result = augment_dsp_width(inst, Fraction(1, 8));
+    EXPECT_LE(result.height, opt.peak) << inst.summary();
+    if (result.height <= opt.peak) ++at_most_opt;
+  }
+  EXPECT_EQ(at_most_opt, rounds);
+}
+
+TEST(AugmentPtsMachines53, SchedulesAreValidAndWithinMachineBudget) {
+  Rng rng(33);
+  for (int round = 0; round < 6; ++round) {
+    std::vector<pts::Job> jobs;
+    const int m = static_cast<int>(rng.uniform(3, 6));
+    const int n = static_cast<int>(rng.uniform(4, 12));
+    for (int j = 0; j < n; ++j) {
+      jobs.push_back(pts::Job{rng.uniform(1, 8), static_cast<int>(rng.uniform(1, m))});
+    }
+    const pts::PtsInstance inst(m, jobs);
+    const PtsMachineAugmentation result =
+        augment_pts_machines_53(inst, Fraction(1, 6));
+    const Height budget = ceil_mul(m, Fraction(5, 3) + Fraction(1, 6));
+    EXPECT_LE(result.augmented_machines, budget);
+    // Validate against the augmented-machine instance.
+    const pts::PtsInstance augmented(result.augmented_machines, jobs);
+    EXPECT_EQ(pts::validate(augmented, result.schedule), std::nullopt);
+    EXPECT_LE(pts::makespan(augmented, result.schedule), result.makespan);
+    EXPECT_GE(result.makespan, result.makespan_floor);
+  }
+}
+
+TEST(AugmentPtsMachines53, MakespanAtMostOptimalOnSmallInstances) {
+  Rng rng(34);
+  for (int round = 0; round < 5; ++round) {
+    std::vector<pts::Job> jobs;
+    const int m = 4;
+    const int n = static_cast<int>(rng.uniform(3, 6));
+    for (int j = 0; j < n; ++j) {
+      jobs.push_back(pts::Job{rng.uniform(1, 5), static_cast<int>(rng.uniform(1, m))});
+    }
+    const pts::PtsInstance inst(m, jobs);
+    const auto opt = exact::pts_min_makespan(inst);
+    ASSERT_TRUE(opt.proven_optimal);
+    const PtsMachineAugmentation result =
+        augment_pts_machines_53(inst, Fraction(1, 6));
+    EXPECT_LE(result.makespan, opt.makespan);
+  }
+}
+
+TEST(AugmentPtsMachines54, TighterBudgetStillValid) {
+  Rng rng(35);
+  std::vector<pts::Job> jobs;
+  const int m = 6;
+  for (int j = 0; j < 14; ++j) {
+    jobs.push_back(pts::Job{rng.uniform(1, 10), static_cast<int>(rng.uniform(1, m))});
+  }
+  const pts::PtsInstance inst(m, jobs);
+  const PtsMachineAugmentation result =
+      augment_pts_machines_54(inst, Fraction(1, 4));
+  const Height budget = ceil_mul(m, Fraction(5, 4) + Fraction(1, 4));
+  EXPECT_LE(result.augmented_machines, budget);
+  const pts::PtsInstance augmented(result.augmented_machines, jobs);
+  EXPECT_EQ(pts::validate(augmented, result.schedule), std::nullopt);
+  EXPECT_LE(pts::makespan(augmented, result.schedule), result.makespan);
+}
+
+}  // namespace
+}  // namespace dsp::augment

@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "approx/boxkit.hpp"
+#include "util/check.hpp"
+#include "util/prng.hpp"
+
+namespace dsp::approx {
+namespace {
+
+/// Generates a feasible single-layer box: tall items side by side (possibly
+/// with gaps), heights within (cap/2, cap].
+TallBox random_single_layer_box(Rng& rng) {
+  TallBox box;
+  box.height = rng.uniform(8, 16);
+  Length cursor = 0;
+  const int n = static_cast<int>(rng.uniform(1, 8));
+  for (int i = 0; i < n; ++i) {
+    TallItem item;
+    item.width = rng.uniform(1, 6);
+    item.height = rng.uniform(box.height / 2 + 1, box.height);
+    item.x = cursor + rng.uniform(0, 2);
+    item.y = 0;
+    cursor = item.x + item.width;
+    box.tall.push_back(item);
+  }
+  box.width = cursor + rng.uniform(0, 3);
+  return box;
+}
+
+TEST(Lemma6, SortsSingleLayerWithoutOverlap) {
+  Rng rng(1);
+  for (int round = 0; round < 50; ++round) {
+    const TallBox box = random_single_layer_box(rng);
+    const ReorderResult result = reorder_single_layer(box);
+    EXPECT_EQ(verify_tall_layout(result.tall, box.width, box.height),
+              std::nullopt);
+    // All items present, sorted by non-increasing height left to right.
+    ASSERT_EQ(result.tall.size(), box.tall.size());
+    for (std::size_t i = 1; i < result.tall.size(); ++i) {
+      EXPECT_GE(result.tall[i - 1].height, result.tall[i].height);
+    }
+  }
+}
+
+TEST(Lemma6, SubBoxCountBoundedByDistinctHeights) {
+  Rng rng(2);
+  for (int round = 0; round < 50; ++round) {
+    const TallBox box = random_single_layer_box(rng);
+    const ReorderResult result = reorder_single_layer(box);
+    std::set<Height> distinct;
+    for (const TallItem& it : box.tall) distinct.insert(it.height);
+    EXPECT_LE(result.tall_boxes.size(), distinct.size())
+        << "Lemma 6: one run per distinct height";
+  }
+}
+
+TEST(Lemma6, FreeBoxesCoverComplementArea) {
+  Rng rng(3);
+  for (int round = 0; round < 50; ++round) {
+    const TallBox box = random_single_layer_box(rng);
+    const ReorderResult result = reorder_single_layer(box);
+    std::int64_t tall_area = 0;
+    for (const TallItem& it : box.tall) {
+      tall_area += static_cast<std::int64_t>(it.width) * it.height;
+    }
+    std::int64_t free_area = 0;
+    for (const SubBox& b : result.free_boxes) {
+      free_area += static_cast<std::int64_t>(b.width) * b.height;
+    }
+    EXPECT_EQ(free_area,
+              static_cast<std::int64_t>(box.width) * box.height - tall_area);
+  }
+}
+
+TEST(Lemma6, ImmovableBorderItemsStayPut) {
+  TallBox box;
+  box.width = 12;
+  box.height = 10;
+  box.tall.push_back({2, 9, 0, 0, true});    // glued to the left border
+  box.tall.push_back({3, 7, 9, 0, true});    // glued to the right border
+  box.tall.push_back({2, 6, 3, 0, false});
+  box.tall.push_back({2, 8, 6, 0, false});
+  const ReorderResult result = reorder_single_layer(box);
+  EXPECT_EQ(verify_tall_layout(result.tall, box.width, box.height),
+            std::nullopt);
+  // Immovables keep their x (they are appended after movables in `tall`).
+  EXPECT_EQ(result.tall[2].x, 0);
+  EXPECT_EQ(result.tall[3].x, 9);
+  // Movables sorted descending after the left immovable.
+  EXPECT_EQ(result.tall[0].height, 8);
+  EXPECT_EQ(result.tall[0].x, 2);
+  EXPECT_EQ(result.tall[1].height, 6);
+}
+
+TEST(Lemma6, RejectsInteriorImmovable) {
+  TallBox box;
+  box.width = 10;
+  box.height = 8;
+  box.tall.push_back({2, 7, 4, 0, true});
+  EXPECT_THROW(reorder_single_layer(box), InvalidInput);
+}
+
+/// Generates a feasible two-layer box: columns hold at most two tall items
+/// whose heights sum within the box height.
+TallBox random_two_layer_box(Rng& rng, Height quarter_h) {
+  TallBox box;
+  box.height = 4 * quarter_h - rng.uniform(0, quarter_h);  // (2q, 4q] range
+  if (box.height <= 2 * quarter_h) box.height = 2 * quarter_h + 1;
+  Length cursor = 0;
+  const int columns = static_cast<int>(rng.uniform(1, 6));
+  for (int c = 0; c < columns; ++c) {
+    const Length w = rng.uniform(1, 5);
+    TallItem bottom;
+    bottom.width = w;
+    bottom.height = rng.uniform(quarter_h + 1, box.height - quarter_h - 1);
+    bottom.x = cursor;
+    bottom.y = 0;
+    box.tall.push_back(bottom);
+    if (rng.chance(0.7)) {
+      TallItem top;
+      top.width = w;
+      const Height max_h = box.height - bottom.height;
+      if (max_h > quarter_h) {
+        top.height = rng.uniform(quarter_h + 1, max_h);
+        top.x = cursor;
+        top.y = box.height - top.height;
+        box.tall.push_back(top);
+      }
+    }
+    cursor += w;
+  }
+  box.width = cursor;
+  return box;
+}
+
+TEST(Lemma7, ReordersTwoLayersWithoutOverlap) {
+  Rng rng(4);
+  for (int round = 0; round < 100; ++round) {
+    const Height quarter_h = rng.uniform(2, 5);
+    const TallBox box = random_two_layer_box(rng, quarter_h);
+    const ReorderResult result = reorder_two_layer(box, quarter_h);
+    EXPECT_EQ(verify_tall_layout(result.tall, box.width, box.height),
+              std::nullopt)
+        << "round " << round;
+    ASSERT_EQ(result.tall.size(), box.tall.size());
+    // Every item touches the top or the bottom after the reorder.
+    for (const TallItem& it : result.tall) {
+      EXPECT_TRUE(it.y == 0 || it.y + it.height == box.height);
+    }
+  }
+}
+
+TEST(Lemma7, SubBoxCountBoundedByDistinctHeightsPerLayer) {
+  Rng rng(5);
+  for (int round = 0; round < 50; ++round) {
+    const Height quarter_h = rng.uniform(2, 4);
+    const TallBox box = random_two_layer_box(rng, quarter_h);
+    const ReorderResult result = reorder_two_layer(box, quarter_h);
+    std::set<Height> distinct;
+    for (const TallItem& it : box.tall) distinct.insert(it.height);
+    // One run per distinct height per layer.
+    EXPECT_LE(result.tall_boxes.size(), 2 * distinct.size());
+  }
+}
+
+TEST(Lemma7, RejectsInfeasibleInput) {
+  TallBox box;
+  box.width = 4;
+  box.height = 10;
+  box.tall.push_back({4, 6, 0, 0, false});
+  box.tall.push_back({4, 6, 0, 2, false});  // overlaps the first item
+  EXPECT_THROW(reorder_two_layer(box, 3), InvalidInput);
+}
+
+/// Generates a feasible three-layer box by stacking up to three tall items
+/// per column block.
+TallBox random_three_layer_box(Rng& rng, Height quarter_h) {
+  TallBox box;
+  box.height = 4 * quarter_h;
+  Length cursor = 0;
+  const int columns = static_cast<int>(rng.uniform(1, 5));
+  for (int c = 0; c < columns; ++c) {
+    const Length w = rng.uniform(1, 4);
+    const int layers = static_cast<int>(rng.uniform(1, 3));
+    Height y = 0;
+    for (int l = 0; l < layers; ++l) {
+      const Height remaining = box.height - y;
+      if (remaining <= quarter_h) break;
+      const Height max_h =
+          std::min<Height>(remaining, 2 * quarter_h);
+      TallItem item;
+      item.width = w;
+      item.height = rng.uniform(quarter_h + 1, std::max<Height>(quarter_h + 1, max_h));
+      if (item.height > remaining) break;
+      item.x = cursor;
+      item.y = y;
+      y += item.height;
+      box.tall.push_back(item);
+    }
+    cursor += w;
+  }
+  box.width = std::max<Length>(cursor, 1);
+  return box;
+}
+
+TEST(Lemma8, ThreeLineAssignmentRealizesWithQuarterExtension) {
+  Rng rng(6);
+  int produced = 0;
+  for (int round = 0; round < 100; ++round) {
+    const Height quarter_h = rng.uniform(2, 4);
+    const TallBox box = random_three_layer_box(rng, quarter_h);
+    if (box.tall.empty()) continue;
+    const auto result = reorder_three_layer(box, quarter_h);
+    ASSERT_TRUE(result.has_value()) << "round " << round;
+    ++produced;
+    EXPECT_EQ(verify_tall_layout(result->tall, box.width,
+                                 box.height + quarter_h),
+              std::nullopt);
+    EXPECT_LE(result->used_height, box.height + quarter_h);
+    ASSERT_EQ(result->tall.size(), box.tall.size());
+  }
+  EXPECT_GT(produced, 50);
+}
+
+TEST(Lemma8, ReturnsNulloptOnInfeasibleInput) {
+  TallBox box;
+  box.width = 3;
+  box.height = 12;
+  box.tall.push_back({3, 7, 0, 0, false});
+  box.tall.push_back({3, 7, 0, 3, false});  // overlapping input
+  EXPECT_EQ(reorder_three_layer(box, 3), std::nullopt);
+}
+
+TEST(Lemma8, HandlesFullHeightItems) {
+  TallBox box;
+  box.width = 6;
+  box.height = 12;
+  box.tall.push_back({2, 12, 0, 0, false});  // spans all three lines
+  box.tall.push_back({2, 5, 2, 0, false});
+  box.tall.push_back({2, 5, 2, 7, false});
+  box.tall.push_back({2, 11, 4, 0, false});
+  const auto result = reorder_three_layer(box, 3);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(verify_tall_layout(result->tall, box.width, box.height + 3),
+            std::nullopt);
+}
+
+TEST(VerifyTallLayout, CatchesEveryViolationKind) {
+  std::vector<TallItem> items;
+  items.push_back({2, 3, -1, 0, false});
+  EXPECT_TRUE(verify_tall_layout(items, 10, 10).has_value());
+  items[0] = {2, 3, 9, 0, false};
+  EXPECT_TRUE(verify_tall_layout(items, 10, 10).has_value());
+  items[0] = {2, 3, 0, 8, false};
+  EXPECT_TRUE(verify_tall_layout(items, 10, 10).has_value());
+  items[0] = {2, 3, 0, 0, false};
+  items.push_back({2, 3, 1, 2, false});
+  EXPECT_TRUE(verify_tall_layout(items, 10, 10).has_value());
+  items[1] = {2, 3, 2, 0, false};
+  EXPECT_EQ(verify_tall_layout(items, 10, 10), std::nullopt);
+}
+
+}  // namespace
+}  // namespace dsp::approx

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "approx/classify.hpp"
+#include "approx/rounding.hpp"
+#include "gen/families.hpp"
+#include "util/check.hpp"
+#include "util/prng.hpp"
+
+namespace dsp::approx {
+namespace {
+
+TEST(Classify, EveryItemGetsExactlyOneCategory) {
+  Rng rng(1);
+  const Instance inst = gen::random_uniform(200, 1000, 1000, 100, rng);
+  const Classification cls =
+      classify(inst, 100, Fraction(1, 4), Fraction(1, 8), Fraction(1, 32));
+  ASSERT_EQ(cls.category.size(), inst.size());
+  std::size_t total = 0;
+  for (const Category c :
+       {Category::kLarge, Category::kTall, Category::kVertical,
+        Category::kMediumVertical, Category::kHorizontal, Category::kSmall,
+        Category::kMedium}) {
+    total += cls.of(c).size();
+  }
+  EXPECT_EQ(total, inst.size());
+}
+
+TEST(Classify, PredicatesMatchFigureFive) {
+  // W = 100, H' = 100, eps = 1/4, delta = 1/10, mu = 1/50.
+  // Thresholds: delta_w = 10, mu_w = 2, delta_h = 10, mu_h = 2, eps_h = 25,
+  // tall_h = 50.
+  const Instance inst(100, {
+                               {50, 50},  // wide + taller than delta -> L
+                               {50, 5},   // wide, mu_h < h <= delta_h -> M
+                               {50, 2},   // wide, h <= mu_h -> H
+                               {5, 60},   // mid width, tall -> T
+                               {5, 30},   // mid width, eps_h <= h -> Mv
+                               {5, 10},   // mid width, h < eps_h -> M
+                               {2, 60},   // narrow, tall -> T
+                               {2, 30},   // narrow, V band -> V
+                               {2, 5},    // narrow, medium band -> M
+                               {2, 2},    // narrow, tiny -> S
+                           });
+  const Classification cls =
+      classify(inst, 100, Fraction(1, 4), Fraction(1, 10), Fraction(1, 50));
+  EXPECT_EQ(cls.category[0], Category::kLarge);
+  EXPECT_EQ(cls.category[1], Category::kMedium);
+  EXPECT_EQ(cls.category[2], Category::kHorizontal);
+  EXPECT_EQ(cls.category[3], Category::kTall);
+  EXPECT_EQ(cls.category[4], Category::kMediumVertical);
+  EXPECT_EQ(cls.category[5], Category::kMedium);
+  EXPECT_EQ(cls.category[6], Category::kTall);
+  EXPECT_EQ(cls.category[7], Category::kVertical);
+  EXPECT_EQ(cls.category[8], Category::kMedium);
+  EXPECT_EQ(cls.category[9], Category::kSmall);
+}
+
+TEST(Classify, RejectsBadParameters) {
+  const Instance inst(10, {{1, 1}});
+  EXPECT_THROW(
+      classify(inst, 10, Fraction(1, 4), Fraction(1, 2), Fraction(1, 8)),
+      InvalidInput);  // delta > epsilon
+  EXPECT_THROW(
+      classify(inst, 10, Fraction(1, 4), Fraction(1, 8), Fraction(1, 4)),
+      InvalidInput);  // mu > delta
+  EXPECT_THROW(classify(inst, 0, Fraction(1, 4), Fraction(1, 8), Fraction(1, 16)),
+               InvalidInput);
+}
+
+TEST(SelectParameters, MediumAreaIsBoundedByLadderPigeonhole) {
+  Rng rng(7);
+  for (int round = 0; round < 10; ++round) {
+    const Instance inst = gen::random_uniform(300, 2048, 2048, 256, rng);
+    const int ladder = 6;
+    const Classification cls =
+        select_parameters(inst, 256, Fraction(1, 4), ladder);
+    const std::int64_t medium_area =
+        cls.area_of(Category::kMedium, inst) +
+        cls.area_of(Category::kMediumVertical, inst);
+    // Each item is medium on at most two rungs (one height band, one width
+    // band), so the best rung carries at most 2/ladder of the total area.
+    EXPECT_LE(medium_area, 2 * inst.total_area() / ladder + 1)
+        << inst.summary();
+  }
+}
+
+TEST(SelectParameters, KeepsMuDeltaEpsilonOrdered) {
+  Rng rng(9);
+  const Instance inst = gen::random_uniform(100, 512, 512, 64, rng);
+  const Classification cls = select_parameters(inst, 64, Fraction(1, 3));
+  EXPECT_LE(cls.mu, cls.delta);
+  EXPECT_LE(cls.delta, cls.epsilon);
+}
+
+TEST(Rounding, RoundsUpToGridAndNeverBelowTrueHeight) {
+  Rng rng(11);
+  const Instance inst = gen::random_uniform(120, 1024, 512, 200, rng);
+  const Classification cls = select_parameters(inst, 200, Fraction(1, 4));
+  const RoundedHeights rounding = round_heights(inst, cls);
+  for (std::size_t i = 0; i < inst.size(); ++i) {
+    EXPECT_GE(rounding.rounded[i], inst.item(i).height);
+    EXPECT_EQ(rounding.rounded[i] % rounding.grid[i], 0);
+    // Rounding adds less than one grid step.
+    EXPECT_LT(rounding.rounded[i] - inst.item(i).height, rounding.grid[i]);
+  }
+}
+
+TEST(Rounding, ReducesDistinctTallHeights) {
+  Rng rng(13);
+  const Instance inst = gen::tall_items(200, 1024, 200, rng);
+  const Classification cls = select_parameters(inst, 200, Fraction(1, 4));
+  const RoundedHeights rounding = round_heights(inst, cls);
+  std::vector<Height> raw;
+  for (const std::size_t i : cls.of(Category::kTall)) {
+    raw.push_back(inst.item(i).height);
+  }
+  std::sort(raw.begin(), raw.end());
+  raw.erase(std::unique(raw.begin(), raw.end()), raw.end());
+  const auto rounded =
+      distinct_rounded_heights(inst, cls, rounding, Category::kTall);
+  EXPECT_LE(rounded.size(), raw.size());
+  EXPECT_FALSE(rounded.empty());
+  // Descending order contract.
+  for (std::size_t k = 1; k < rounded.size(); ++k) {
+    EXPECT_GT(rounded[k - 1], rounded[k]);
+  }
+}
+
+TEST(Classify, CategoryNamesAreStable) {
+  EXPECT_EQ(to_string(Category::kLarge), "L");
+  EXPECT_EQ(to_string(Category::kMediumVertical), "Mv");
+  EXPECT_EQ(to_string(Category::kSmall), "S");
+}
+
+}  // namespace
+}  // namespace dsp::approx

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "core/bounds.hpp"
+#include "core/render.hpp"
+#include "core/sliced.hpp"
+#include "exact/dsp_exact.hpp"
+#include "exact/sp_exact.hpp"
+#include "gen/gap.hpp"
+
+namespace dsp {
+namespace {
+
+// Experiment E1 ground truth (paper Fig. 1): the gap instance's two optima.
+
+TEST(GapInstance, WitnessAchievesPeakFour) {
+  const Instance inst = gen::gap_instance();
+  const Packing witness = gen::gap_dsp_witness();
+  ASSERT_EQ(feasibility_error(inst, witness), std::nullopt);
+  EXPECT_EQ(peak_height(inst, witness), 4);
+  // The witness is realizable as an explicit sliced packing of height 4.
+  const SlicedPacking sliced = SlicedPacking::canonical(inst, witness);
+  EXPECT_EQ(sliced.validate(inst), std::nullopt);
+  EXPECT_EQ(sliced.height(inst), 4);
+}
+
+TEST(GapInstance, DspOptimumIsFour) {
+  const Instance inst = gen::gap_instance();
+  // Area = 20 = 4*W certifies the lower bound; the witness the upper.
+  EXPECT_EQ(area_lower_bound(inst), 4);
+  const auto result = exact::min_peak(inst);
+  ASSERT_TRUE(result.proven_optimal);
+  EXPECT_EQ(result.peak, 4);
+}
+
+TEST(GapInstance, SpOptimumIsFive) {
+  const Instance inst = gen::gap_instance();
+  const auto at4 = exact::sp_decide_height(inst, 4);
+  EXPECT_EQ(at4.status, exact::SearchStatus::kProvedInfeasible);
+  const auto result = exact::sp_min_height(inst);
+  ASSERT_TRUE(result.proven_optimal);
+  EXPECT_EQ(result.height, 5);
+  EXPECT_EQ(sp::validate(inst, result.packing), std::nullopt);
+}
+
+TEST(GapInstance, ReplicationErasesTheGap) {
+  // Verified finding (see gap.hpp): with two copies, contiguous packings mix
+  // items across copies and reach height 4 — replication is not a gap
+  // family.
+  const Instance inst = gen::gap_instance_replicated(2);
+  const auto sp4 = exact::sp_decide_height(inst, 4);
+  EXPECT_EQ(sp4.status, exact::SearchStatus::kProvedFeasible);
+  const auto dsp4 = exact::decide_peak(inst, 4);
+  EXPECT_EQ(dsp4.status, exact::SearchStatus::kProvedFeasible);
+}
+
+TEST(GapInstance, RendersForTheQuickstart) {
+  const Instance inst = gen::gap_instance();
+  const SlicedPacking sliced =
+      SlicedPacking::canonical(inst, gen::gap_dsp_witness());
+  const std::string art = render_sliced(inst, sliced);
+  // 4 rows of 5 columns plus the baseline.
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 5);
+}
+
+}  // namespace
+}  // namespace dsp

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/bounds.hpp"
+#include "exact/dsp_exact.hpp"
+#include "exact/three_partition.hpp"
+#include "gen/families.hpp"
+#include "gen/hardness.hpp"
+#include "gen/smart_grid.hpp"
+#include "util/check.hpp"
+#include "util/prng.hpp"
+
+namespace dsp {
+namespace {
+
+TEST(Families, UniformRespectsRanges) {
+  Rng rng(1);
+  const Instance inst = gen::random_uniform(50, 30, 10, 7, rng);
+  EXPECT_EQ(inst.size(), 50u);
+  for (const Item& it : inst.items()) {
+    EXPECT_GE(it.width, 1);
+    EXPECT_LE(it.width, 10);
+    EXPECT_GE(it.height, 1);
+    EXPECT_LE(it.height, 7);
+  }
+}
+
+TEST(Families, TallItemsAreTall) {
+  Rng rng(2);
+  const Instance inst = gen::tall_items(40, 20, 10, rng);
+  for (const Item& it : inst.items()) {
+    EXPECT_GE(it.height, 5);
+    EXPECT_LE(it.width, 5);
+  }
+}
+
+TEST(Families, WideItemsAreWide) {
+  Rng rng(3);
+  const Instance inst = gen::wide_items(40, 20, 5, rng);
+  for (const Item& it : inst.items()) EXPECT_GE(it.width, 10);
+}
+
+TEST(Families, EqualWidthUniform) {
+  Rng rng(4);
+  const Instance inst = gen::equal_width(30, 24, 3, 9, rng);
+  for (const Item& it : inst.items()) EXPECT_EQ(it.width, 3);
+}
+
+TEST(Families, PerfectPackingTilesExactly) {
+  Rng rng(5);
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform(1, 40));
+    const Instance inst = gen::perfect_packing(n, 20, 12, rng);
+    EXPECT_EQ(inst.size(), n);
+    EXPECT_EQ(inst.total_area(), 20 * 12);
+    EXPECT_LE(inst.max_height(), 12);
+    EXPECT_LE(inst.max_width(), 20);
+    EXPECT_EQ(area_lower_bound(inst), 12);
+  }
+}
+
+TEST(Families, PerfectPackingSmallIsExactlyOptimal) {
+  Rng rng(6);
+  const Instance inst = gen::perfect_packing(6, 7, 5, rng);
+  const auto result = exact::min_peak(inst);
+  ASSERT_TRUE(result.proven_optimal);
+  EXPECT_EQ(result.peak, 5);
+}
+
+TEST(Hardness, ReductionShape) {
+  Rng rng(7);
+  const gen::HardnessInstance h = gen::planted_yes(3, 20, rng);
+  EXPECT_TRUE(h.is_yes);
+  const std::size_t k = 3;
+  EXPECT_EQ(h.instance.size(), (k - 1) + k + 3 * k);
+  EXPECT_EQ(h.instance.strip_width(),
+            static_cast<Length>(k) * 20 + static_cast<Length>(k) - 1);
+  // Area is exactly 4*W: a peak-4 packing must be perfect.
+  EXPECT_EQ(h.instance.total_area(), 4 * h.instance.strip_width());
+  EXPECT_EQ(area_lower_bound(h.instance), 4);
+}
+
+TEST(Hardness, YesWitnessAchievesPeakFour) {
+  Rng rng(8);
+  for (int round = 0; round < 5; ++round) {
+    const gen::HardnessInstance h = gen::planted_yes(3, 24, rng);
+    ASSERT_TRUE(h.is_yes);
+    const auto groups = exact::three_partition(h.values, h.target);
+    ASSERT_TRUE(groups.has_value());
+    const Packing witness = gen::yes_witness_packing(h, *groups);
+    ASSERT_EQ(feasibility_error(h.instance, witness), std::nullopt);
+    EXPECT_EQ(peak_height(h.instance, witness), 4);
+  }
+}
+
+TEST(Hardness, NoPartitionValuesStillPackViaMergedWindows) {
+  // The documented converse caveat: without the full window-pinning gadget
+  // of [12], separators can bunch at the edges and the value items tile one
+  // merged window.  The exact solver confirms peak 4 remains achievable
+  // even though the values admit no 3-Partition.
+  Rng rng(9);
+  const gen::HardnessInstance h = gen::sampled_no(2, 20, rng);
+  ASSERT_FALSE(h.is_yes);
+  EXPECT_FALSE(exact::three_partition(h.values, h.target).has_value());
+  const auto at4 = exact::decide_peak(h.instance, 4);
+  EXPECT_EQ(at4.status, exact::SearchStatus::kProvedFeasible);
+}
+
+TEST(Hardness, MergedWindowPackingExistsByConstruction) {
+  // Make the merged-window packing explicit: all separators at the right
+  // edge, fillers side by side from x=0, values tiled in one layer on top.
+  Rng rng(13);
+  const gen::HardnessInstance h = gen::sampled_no(2, 24, rng);
+  const std::size_t k = 2;
+  Packing packing;
+  packing.start.resize(h.instance.size());
+  // separator (one, index 0) at the last column.
+  packing.start[0] = h.instance.strip_width() - 1;
+  // fillers at 0 and B.
+  packing.start[1] = 0;
+  packing.start[2] = h.target;
+  Length cursor = 0;
+  for (std::size_t i = 0; i < h.values.size(); ++i) {
+    packing.start[(k - 1) + k + i] = cursor;
+    cursor += h.values[i];
+  }
+  ASSERT_EQ(feasibility_error(h.instance, packing), std::nullopt);
+  EXPECT_EQ(peak_height(h.instance, packing), 4);
+}
+
+TEST(Hardness, YesInstanceSolvableAtPeakFourByExactSearch) {
+  Rng rng(10);
+  const gen::HardnessInstance h = gen::planted_yes(2, 16, rng);
+  ASSERT_TRUE(h.is_yes);
+  const auto at4 = exact::decide_peak(h.instance, 4);
+  EXPECT_EQ(at4.status, exact::SearchStatus::kProvedFeasible);
+}
+
+TEST(Hardness, PartitionReduction) {
+  // {3,3,2,2,2}? sum 12, half 6: {3,3} vs {2,2,2}.
+  const Instance inst = gen::partition_to_dsp({3, 3, 2, 2, 2}, 6);
+  EXPECT_EQ(inst.strip_width(), 6);
+  const auto result = exact::min_peak(inst);
+  ASSERT_TRUE(result.proven_optimal);
+  EXPECT_EQ(result.peak, 2);
+  // Break the partition: {5,3,2,1,1} half 6 -> {5,1} {3,2,1} works too;
+  // {5,4,2,1} sum 12: {5,1},{4,2} works; a genuinely odd case:
+  const Instance odd = gen::partition_to_dsp({5, 5, 1, 1}, 6);
+  const auto odd_result = exact::min_peak(odd);
+  ASSERT_TRUE(odd_result.proven_optimal);
+  EXPECT_EQ(odd_result.peak, 2);  // {5,1} and {5,1}
+}
+
+TEST(Hardness, PartitionNoInstanceHasPeakThree) {
+  // {4,4,4} with half 6: no subset sums to 6 -> peak must exceed 2.
+  const Instance inst = gen::partition_to_dsp({4, 4, 4}, 6);
+  const auto result = exact::min_peak(inst);
+  ASSERT_TRUE(result.proven_optimal);
+  EXPECT_EQ(result.peak, 3);
+}
+
+TEST(SmartGrid, CatalogShapes) {
+  Rng rng(11);
+  const Instance inst = gen::smart_grid(100, 96, rng);
+  EXPECT_EQ(inst.size(), 100u);
+  EXPECT_EQ(inst.strip_width(), 96);
+  for (const Item& it : inst.items()) {
+    EXPECT_GE(it.width, 1);
+    EXPECT_LE(it.width, 32);
+    EXPECT_GE(it.height, 5);
+    EXPECT_LE(it.height, 110);
+  }
+}
+
+TEST(SmartGrid, DeterministicAcrossSeeds) {
+  Rng a(12), b(12);
+  const Instance x = gen::smart_grid(20, 96, a);
+  const Instance y = gen::smart_grid(20, 96, b);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_EQ(x.item(i), y.item(i));
+  }
+}
+
+}  // namespace
+}  // namespace dsp

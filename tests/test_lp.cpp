@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lp/simplex.hpp"
+#include "util/prng.hpp"
+
+namespace dsp::lp {
+namespace {
+
+TEST(Simplex, SolvesTinyEquality) {
+  // min x0 + x1  s.t.  x0 + x1 = 2  -> objective 2.
+  LpProblem p;
+  p.a = {{1, 1}};
+  p.b = {2};
+  p.c = {1, 1};
+  const LpSolution s = solve(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 2.0, 1e-6);
+}
+
+TEST(Simplex, PicksCheaperColumn) {
+  // min 3x0 + x1  s.t. x0 + x1 = 5 -> x1 = 5, objective 5.
+  LpProblem p;
+  p.a = {{1, 1}};
+  p.b = {5};
+  p.c = {3, 1};
+  const LpSolution s = solve(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 5.0, 1e-6);
+  EXPECT_NEAR(s.x[1], 5.0, 1e-6);
+}
+
+TEST(Simplex, TwoConstraints) {
+  // min x0 + 2x1 + x2, s.t. x0 + x1 = 3; x1 + x2 = 2.
+  // Best: x1 = 0 -> x0 = 3, x2 = 2 -> 5.
+  LpProblem p;
+  p.a = {{1, 1, 0}, {0, 1, 1}};
+  p.b = {3, 2};
+  p.c = {1, 2, 1};
+  const LpSolution s = solve(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 5.0, 1e-6);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  // x0 = 1 and x0 = 2 simultaneously.
+  LpProblem p;
+  p.a = {{1}, {1}};
+  p.b = {1, 2};
+  p.c = {1};
+  EXPECT_EQ(solve(p).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsInfeasibleNegativeRequirement) {
+  // x0 + x1 = -1 with x >= 0.
+  LpProblem p;
+  p.a = {{1, 1}};
+  p.b = {-1};
+  p.c = {1, 1};
+  EXPECT_EQ(solve(p).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  // min -x0 s.t. x0 - x1 = 0: x0 = x1 -> drive to infinity.
+  LpProblem p;
+  p.a = {{1, -1}};
+  p.b = {0};
+  p.c = {-1, 0};
+  EXPECT_EQ(solve(p).status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, HandlesNegativeRhsBySignFlip) {
+  // -x0 = -4  ->  x0 = 4.
+  LpProblem p;
+  p.a = {{-1}};
+  p.b = {-4};
+  p.c = {1};
+  const LpSolution s = solve(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.x[0], 4.0, 1e-6);
+}
+
+TEST(Simplex, BasicSolutionHasAtMostRowsNonzeros) {
+  Rng rng(42);
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t rows = static_cast<std::size_t>(rng.uniform(1, 5));
+    const std::size_t cols = static_cast<std::size_t>(rng.uniform(rows, 12));
+    LpProblem p;
+    p.a.assign(rows, std::vector<double>(cols));
+    p.c.assign(cols, 0.0);
+    for (std::size_t j = 0; j < cols; ++j) {
+      p.c[j] = static_cast<double>(rng.uniform(1, 5));
+      for (std::size_t i = 0; i < rows; ++i) {
+        p.a[i][j] = static_cast<double>(rng.uniform(0, 3));
+      }
+    }
+    // Make it feasible by construction: b = A * (random non-negative x).
+    std::vector<double> x0(cols);
+    for (auto& v : x0) v = static_cast<double>(rng.uniform(0, 4));
+    p.b.assign(rows, 0.0);
+    for (std::size_t i = 0; i < rows; ++i) {
+      for (std::size_t j = 0; j < cols; ++j) p.b[i] += p.a[i][j] * x0[j];
+    }
+    const LpSolution s = solve(p);
+    ASSERT_EQ(s.status, LpStatus::kOptimal) << "round " << round;
+    std::size_t nonzeros = 0;
+    for (const double v : s.x) {
+      if (v > 1e-7) ++nonzeros;
+    }
+    EXPECT_LE(nonzeros, rows) << "basic solutions have <= rows support";
+    // Verify constraints hold.
+    for (std::size_t i = 0; i < rows; ++i) {
+      double lhs = 0.0;
+      for (std::size_t j = 0; j < cols; ++j) lhs += p.a[i][j] * s.x[j];
+      EXPECT_NEAR(lhs, p.b[i], 1e-5);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dsp::lp

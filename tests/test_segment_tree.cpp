@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "core/occupancy.hpp"
+#include "core/segment_tree.hpp"
+#include "util/check.hpp"
+#include "util/prng.hpp"
+
+namespace dsp {
+namespace {
+
+TEST(SegmentTree, EmptyStripHasZeroPeak) {
+  const SegmentTree tree(10);
+  EXPECT_EQ(tree.peak(), 0);
+  EXPECT_EQ(tree.range_max(0, 10), 0);
+}
+
+TEST(SegmentTree, SingleRangeAdd) {
+  SegmentTree tree(10);
+  tree.range_add(2, 7, 5);
+  EXPECT_EQ(tree.peak(), 5);
+  EXPECT_EQ(tree.range_max(0, 2), 0);
+  EXPECT_EQ(tree.range_max(2, 7), 5);
+  EXPECT_EQ(tree.range_max(6, 10), 5);
+  EXPECT_EQ(tree.range_max(7, 10), 0);
+}
+
+TEST(SegmentTree, OverlappingAddsStack) {
+  SegmentTree tree(8);
+  tree.range_add(0, 8, 1);
+  tree.range_add(2, 6, 2);
+  tree.range_add(4, 5, 3);
+  EXPECT_EQ(tree.range_max(0, 2), 1);
+  EXPECT_EQ(tree.range_max(2, 4), 3);
+  EXPECT_EQ(tree.range_max(4, 5), 6);
+  EXPECT_EQ(tree.peak(), 6);
+}
+
+TEST(SegmentTree, RemovalRestoresState) {
+  SegmentTree tree(8);
+  tree.range_add(1, 5, 4);
+  tree.range_add(1, 5, -4);
+  EXPECT_EQ(tree.peak(), 0);
+}
+
+TEST(SegmentTree, RejectsBadRanges) {
+  SegmentTree tree(8);
+  EXPECT_THROW(tree.range_add(-1, 3, 1), InvalidInput);
+  EXPECT_THROW(tree.range_add(3, 3, 1), InvalidInput);
+  EXPECT_THROW(tree.range_max(0, 9), InvalidInput);
+  EXPECT_THROW(SegmentTree(0), InvalidInput);
+}
+
+TEST(SegmentTree, NonPowerOfTwoWidths) {
+  for (const Length w : {1, 3, 7, 13, 100}) {
+    SegmentTree tree(w);
+    tree.range_add(0, w, 2);
+    EXPECT_EQ(tree.peak(), 2) << "w=" << w;
+  }
+}
+
+// Cross-check against the dense StripOccupancy on random workloads.
+class SegmentTreeVsDense : public ::testing::TestWithParam<int> {};
+
+TEST_P(SegmentTreeVsDense, AgreeOnRandomOperations) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 1);
+  const Length w = rng.uniform(2, 200);
+  SegmentTree tree(w);
+  StripOccupancy dense(w);
+  for (int op = 0; op < 200; ++op) {
+    const Length begin = rng.uniform(0, w - 1);
+    const Length end = rng.uniform(begin + 1, w);
+    if (rng.chance(0.7)) {
+      const Height h = rng.uniform(1, 9);
+      tree.range_add(begin, end, h);
+      dense.add(begin, end - begin, h);
+    } else {
+      EXPECT_EQ(tree.range_max(begin, end), dense.window_max(begin, end - begin))
+          << "w=" << w << " [" << begin << "," << end << ")";
+    }
+  }
+  EXPECT_EQ(tree.peak(), dense.peak());
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, SegmentTreeVsDense, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace dsp

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "core/bounds.hpp"
+#include "core/sliced.hpp"
+#include "pts/pts.hpp"
+#include "transform/transform.hpp"
+#include "util/check.hpp"
+#include "util/prng.hpp"
+
+namespace dsp {
+namespace {
+
+using pts::Job;
+using pts::MachineSchedule;
+using pts::PtsInstance;
+
+TEST(Pts, InstanceValidation) {
+  EXPECT_THROW(PtsInstance(0, {}), InvalidInput);
+  EXPECT_THROW(PtsInstance(2, {Job{1, 3}}), InvalidInput);
+  EXPECT_THROW(PtsInstance(2, {Job{0, 1}}), InvalidInput);
+}
+
+TEST(Pts, WorkBound) {
+  const PtsInstance inst(3, {Job{4, 2}, Job{2, 3}});
+  EXPECT_EQ(inst.total_work(), 4 * 2 + 2 * 3);
+  EXPECT_EQ(inst.work_lower_bound(), (14 + 2) / 3);
+  EXPECT_EQ(inst.max_time(), 4);
+}
+
+TEST(Pts, ValidateDetectsDoubleBooking) {
+  const PtsInstance inst(2, {Job{3, 1}, Job{3, 1}});
+  MachineSchedule s;
+  s.start = {0, 1};
+  s.machines = {{0}, {0}};
+  const auto err = pts::validate(inst, s);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("double-booked"), std::string::npos);
+}
+
+TEST(Pts, ValidateDetectsWrongMachineCount) {
+  const PtsInstance inst(3, {Job{2, 2}});
+  MachineSchedule s;
+  s.start = {0};
+  s.machines = {{1}};
+  EXPECT_TRUE(pts::validate(inst, s).has_value());
+}
+
+TEST(Pts, ValidateAcceptsFeasible) {
+  const PtsInstance inst(3, {Job{2, 2}, Job{2, 1}, Job{1, 3}});
+  MachineSchedule s;
+  s.start = {0, 0, 2};
+  s.machines = {{0, 1}, {2}, {0, 1, 2}};
+  EXPECT_EQ(pts::validate(inst, s), std::nullopt);
+  EXPECT_EQ(pts::makespan(inst, s), 3);
+}
+
+TEST(Transform, InstanceMapsAreInverse) {
+  const Instance dsp_inst(10, {{3, 2}, {4, 1}, {2, 5}});
+  const PtsInstance p = transform::dsp_to_pts_instance(dsp_inst, 5);
+  EXPECT_EQ(p.num_machines(), 5);
+  ASSERT_EQ(p.size(), dsp_inst.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_EQ(p.job(i).time, dsp_inst.item(i).width);
+    EXPECT_EQ(p.job(i).machines, dsp_inst.item(i).height);
+  }
+  const Instance back = transform::pts_to_dsp_instance(p, 10);
+  ASSERT_EQ(back.size(), dsp_inst.size());
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    EXPECT_EQ(back.item(i), dsp_inst.item(i));
+  }
+}
+
+TEST(Transform, RejectsTooTallItems) {
+  const Instance dsp_inst(10, {{3, 7}});
+  EXPECT_THROW(transform::dsp_to_pts_instance(dsp_inst, 5), InvalidInput);
+}
+
+TEST(Transform, PackingToScheduleSucceedsIffPeakFits) {
+  // Peak 4 packing on W=6.
+  const Instance inst(6, {{3, 2}, {2, 3}, {4, 1}, {1, 4}});
+  const Packing packing{{0, 3, 1, 5}};  // peak 4
+  EXPECT_TRUE(transform::packing_to_schedule(inst, packing, 4).has_value());
+  EXPECT_FALSE(transform::packing_to_schedule(inst, packing, 3).has_value());
+}
+
+TEST(Transform, ScheduleFromPackingIsFeasibleAndPreservesStarts) {
+  const Instance inst(6, {{3, 2}, {2, 3}, {4, 1}, {1, 4}});
+  const Packing packing{{0, 3, 1, 5}};
+  const auto schedule = transform::packing_to_schedule(inst, packing, 4);
+  ASSERT_TRUE(schedule.has_value());
+  const PtsInstance p = transform::dsp_to_pts_instance(inst, 4);
+  EXPECT_EQ(pts::validate(p, *schedule), std::nullopt);
+  EXPECT_EQ(schedule->start, packing.start);
+  EXPECT_EQ(pts::makespan(p, *schedule), 6);
+}
+
+TEST(Transform, ScheduleToSlicedPackingKeepsHeight) {
+  const PtsInstance p(3, {Job{2, 2}, Job{2, 1}, Job{1, 3}, Job{3, 1}});
+  MachineSchedule s;
+  s.start = {0, 0, 2, 2};
+  s.machines = {{0, 1}, {2}, {0, 1, 2}, {0}};
+  // Invalid: machine 0 double-booked at t=2 by jobs 2 and 3.
+  ASSERT_TRUE(pts::validate(p, s).has_value());
+  s.machines[3] = {0};
+  s.start[3] = 3;
+  ASSERT_EQ(pts::validate(p, s), std::nullopt);
+  const SlicedPacking sliced = transform::schedule_to_sliced_packing(p, s, 6);
+  const Instance dsp_inst = transform::pts_to_dsp_instance(p, 6);
+  EXPECT_EQ(sliced.validate(dsp_inst), std::nullopt);
+  EXPECT_LE(sliced.height(dsp_inst), 3);
+}
+
+// Property: random packings round-trip through PTS and back preserving both
+// feasibility and cost — the executable content of Theorem 1.
+class TransformRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(TransformRoundTrip, PackingScheduleRoundTripPreservesPeak) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const Length w = rng.uniform(4, 20);
+  std::vector<Item> items;
+  const int n = static_cast<int>(rng.uniform(2, 10));
+  for (int i = 0; i < n; ++i) {
+    items.push_back(Item{rng.uniform(1, w), rng.uniform(1, 4)});
+  }
+  const Instance inst(w, items);
+  Packing packing;
+  for (const Item& it : inst.items()) {
+    packing.start.push_back(rng.uniform(0, w - it.width));
+  }
+  const Height peak = peak_height(inst, packing);
+
+  // DSP -> PTS with m = peak must succeed (Thm. 1 forward direction).
+  const auto schedule =
+      transform::packing_to_schedule(inst, packing, static_cast<int>(peak));
+  ASSERT_TRUE(schedule.has_value());
+  const PtsInstance p =
+      transform::dsp_to_pts_instance(inst, static_cast<int>(peak));
+  EXPECT_EQ(pts::validate(p, *schedule), std::nullopt);
+  EXPECT_LE(pts::makespan(p, *schedule), w);
+
+  // PTS -> DSP: starts map back, peak is unchanged (Thm. 1 reverse).
+  const Packing back = transform::schedule_to_packing(*schedule);
+  EXPECT_EQ(peak_height(inst, back), peak);
+
+  // With one machine fewer the sweep must fail at some job.
+  if (peak > inst.max_height()) {
+    EXPECT_FALSE(
+        transform::packing_to_schedule(inst, packing, static_cast<int>(peak) - 1)
+            .has_value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, TransformRoundTrip,
+                         ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace dsp
