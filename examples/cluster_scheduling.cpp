@@ -39,7 +39,8 @@ int main() {
   for (std::size_t j = 0; j < 5; ++j) {
     std::string machines;
     for (const int m : opt.schedule.machines[j]) {
-      machines += (machines.empty() ? "" : ",") + std::to_string(m);
+      if (!machines.empty()) machines += ',';
+      machines += std::to_string(m);
     }
     table.begin_row()
         .cell(j)

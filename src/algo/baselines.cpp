@@ -4,7 +4,7 @@
 #include <numeric>
 
 #include "core/bounds.hpp"
-#include "core/occupancy.hpp"
+#include "core/profile.hpp"
 #include "sp/bottom_left.hpp"
 #include "sp/shelf.hpp"
 #include "sp/sleator.hpp"
@@ -40,45 +40,50 @@ std::vector<std::size_t> ordered_indices(const Instance& instance, ItemOrder ord
 
 }  // namespace
 
-Packing greedy_lowest_peak(const Instance& instance, ItemOrder order) {
-  StripOccupancy occ(instance.strip_width());
+Packing greedy_lowest_peak(const Instance& instance, ItemOrder order,
+                           ProfileBackendKind backend) {
+  const auto occ =
+      make_profile_backend(backend, instance.strip_width(), instance.size());
   Packing packing;
   packing.start.resize(instance.size());
   for (const std::size_t i : ordered_indices(instance, order)) {
     const Item& it = instance.item(i);
-    const auto best = occ.min_peak_position(it.width);
+    const auto best = occ->min_peak_position(it.width);
     packing.start[i] = best.start;
-    occ.add(best.start, it.width, it.height);
+    occ->add(best.start, it.width, it.height);
   }
   return packing;
 }
 
 std::optional<Packing> first_fit_with_budget(const Instance& instance,
-                                             Height budget) {
-  StripOccupancy occ(instance.strip_width());
+                                             Height budget,
+                                             ProfileBackendKind backend) {
+  const auto occ =
+      make_profile_backend(backend, instance.strip_width(), instance.size());
   Packing packing;
   packing.start.resize(instance.size());
   for (const std::size_t i :
        ordered_indices(instance, ItemOrder::kDecreasingHeight)) {
     const Item& it = instance.item(i);
-    const auto pos = occ.first_fit(it.width, it.height, budget);
+    const auto pos = occ->first_fit(it.width, it.height, budget);
     if (!pos.has_value()) return std::nullopt;
     packing.start[i] = *pos;
-    occ.add(*pos, it.width, it.height);
+    occ->add(*pos, it.width, it.height);
   }
   return packing;
 }
 
-Packing first_fit_search(const Instance& instance) {
+Packing first_fit_search(const Instance& instance, ProfileBackendKind backend) {
   Height lo = combined_lower_bound(instance);
-  const Packing greedy = greedy_lowest_peak(instance);
+  const Packing greedy = greedy_lowest_peak(
+      instance, ItemOrder::kDecreasingHeight, backend);
   Height hi = peak_height(instance, greedy);
   std::optional<Packing> best;
   if (hi <= lo) return greedy;
   // Invariant: a feasible packing is known for budget hi (the greedy one).
   while (lo < hi) {
     const Height mid = lo + (hi - lo) / 2;
-    if (auto packing = first_fit_with_budget(instance, mid)) {
+    if (auto packing = first_fit_with_budget(instance, mid, backend)) {
       best = std::move(packing);
       hi = mid;
     } else {
@@ -121,8 +126,8 @@ Packing sleator_dsp(const Instance& instance) {
   return sp::as_dsp(sp::sleator(instance));
 }
 
-Packing bottom_left_dsp(const Instance& instance) {
-  return sp::as_dsp(sp::bottom_left(instance));
+Packing bottom_left_dsp(const Instance& instance, ProfileBackendKind backend) {
+  return sp::as_dsp(sp::bottom_left(instance, backend));
 }
 
 }  // namespace dsp::algo

@@ -3,6 +3,7 @@
 #include <optional>
 
 #include "core/packing.hpp"
+#include "core/profile.hpp"
 
 namespace dsp::algo {
 
@@ -21,19 +22,25 @@ enum class ItemOrder {
 /// Greedy peak smoothing: items in the given order, each placed at the
 /// (leftmost) position minimizing the resulting local peak.  This is the
 /// representative of the smoothing heuristics of Tang et al. [29].
-[[nodiscard]] Packing greedy_lowest_peak(const Instance& instance,
-                                         ItemOrder order = ItemOrder::kDecreasingHeight);
+/// All profile-driven baselines take the backend to run on (dense O(W)
+/// sweeps or the sparse segment tree); both produce identical packings.
+[[nodiscard]] Packing greedy_lowest_peak(
+    const Instance& instance, ItemOrder order = ItemOrder::kDecreasingHeight,
+    ProfileBackendKind backend = ProfileBackendKind::kDense);
 
 /// First-fit under a peak budget: items by decreasing height, each at the
 /// leftmost position keeping load + h <= budget.  Returns nullopt if some
 /// item does not fit — the inner loop of Ranjan et al.'s first-fit [23].
-[[nodiscard]] std::optional<Packing> first_fit_with_budget(const Instance& instance,
-                                                           Height budget);
+[[nodiscard]] std::optional<Packing> first_fit_with_budget(
+    const Instance& instance, Height budget,
+    ProfileBackendKind backend = ProfileBackendKind::kDense);
 
 /// Ranjan-style first fit: binary search for the smallest feasible budget of
 /// first_fit_with_budget between the combined lower bound and the greedy
 /// upper bound; returns the packing for that budget.
-[[nodiscard]] Packing first_fit_search(const Instance& instance);
+[[nodiscard]] Packing first_fit_search(
+    const Instance& instance,
+    ProfileBackendKind backend = ProfileBackendKind::kDense);
 
 /// Yaw et al. [31] consider the equal-width special case.  With k = floor(W/w)
 /// columns, items sorted by decreasing height are assigned LPT-style to the
@@ -45,6 +52,8 @@ enum class ItemOrder {
 [[nodiscard]] Packing nfdh_dsp(const Instance& instance);
 [[nodiscard]] Packing ffdh_dsp(const Instance& instance);
 [[nodiscard]] Packing sleator_dsp(const Instance& instance);
-[[nodiscard]] Packing bottom_left_dsp(const Instance& instance);
+[[nodiscard]] Packing bottom_left_dsp(
+    const Instance& instance,
+    ProfileBackendKind backend = ProfileBackendKind::kDense);
 
 }  // namespace dsp::algo

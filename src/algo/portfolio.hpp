@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/packing.hpp"
+#include "core/profile.hpp"
 
 namespace dsp::algo {
 
@@ -16,12 +17,20 @@ struct NamedAlgorithm {
 };
 
 /// All general-purpose baselines (the equal-width folding is excluded: it
-/// only accepts uniform widths and is benchmarked separately).
+/// only accepts uniform widths and is benchmarked separately), running on
+/// the dense profile backend.
 [[nodiscard]] const std::vector<NamedAlgorithm>& baseline_portfolio();
+
+/// The same portfolio with the profile-driven members bound to the given
+/// backend (nfdh/ffdh/sleator keep their shelf bookkeeping; greedy,
+/// first-fit and bottom-left switch their placement profile).
+[[nodiscard]] std::vector<NamedAlgorithm> baseline_portfolio(
+    ProfileBackendKind backend);
 
 /// Runs the whole portfolio and returns the packing with the lowest peak.
 /// If `winner` is non-null it receives the winning algorithm's name.
-[[nodiscard]] Packing best_of_portfolio(const Instance& instance,
-                                        std::string* winner = nullptr);
+[[nodiscard]] Packing best_of_portfolio(
+    const Instance& instance, std::string* winner = nullptr,
+    ProfileBackendKind backend = ProfileBackendKind::kDense);
 
 }  // namespace dsp::algo

@@ -7,7 +7,7 @@
 #include "algo/portfolio.hpp"
 #include "approx/config_lp.hpp"
 #include "core/bounds.hpp"
-#include "core/occupancy.hpp"
+#include "core/profile.hpp"
 #include "util/check.hpp"
 
 namespace dsp::approx {
@@ -38,22 +38,21 @@ std::vector<std::size_t> sorted_desc(const std::vector<std::size_t>& indices,
 /// free capacity (Lemma 5's strips between box borders).  Merged down to
 /// `max_boxes` by dropping the narrowest runs into their neighbours with the
 /// smaller capacity kept (a conservative under-approximation of the space).
-std::vector<GapBox> gap_boxes_of_profile(const StripOccupancy& occupancy,
+std::vector<GapBox> gap_boxes_of_profile(const ProfileBackend& occupancy,
                                          Height ceiling, Height min_height,
                                          std::size_t max_boxes) {
   std::vector<GapBox> boxes;
   const Length w = occupancy.strip_width();
+  // Maximal runs of equal load, enumerated through the backend so the
+  // sparse profile pays O(runs * log W) rather than O(W) probes.
   Length run_start = 0;
-  Height run_cap = ceiling - occupancy.load_at(0);
-  for (Length x = 1; x <= w; ++x) {
-    const Height cap = x < w ? ceiling - occupancy.load_at(x) : -1;
-    if (x == w || cap != run_cap) {
-      if (run_cap >= min_height) {
-        boxes.push_back(GapBox{run_start, x - run_start, run_cap});
-      }
-      run_start = x;
-      run_cap = cap;
+  while (run_start < w) {
+    const Length run_end = occupancy.next_change(run_start);
+    const Height run_cap = ceiling - occupancy.load_at(run_start);
+    if (run_cap >= min_height) {
+      boxes.push_back(GapBox{run_start, run_end - run_start, run_cap});
     }
+    run_start = run_end;
   }
   while (boxes.size() > max_boxes) {
     // Merge the narrowest box into its lower-capacity neighbour.
@@ -95,7 +94,10 @@ AttemptOutcome attempt(const Instance& instance, Height h_guess,
   const Height budget =
       ceil_mul(h_guess, Fraction(5, 4) + params.epsilon);
 
-  StripOccupancy occupancy(instance.strip_width());
+  const auto profile = make_profile_backend(params.backend,
+                                            instance.strip_width(),
+                                            instance.size());
+  ProfileBackend& occupancy = *profile;
   Packing packing;
   packing.start.assign(instance.size(), -1);
   const auto place = [&](std::size_t i, Length x) {
@@ -197,7 +199,7 @@ Approx54Result solve54(const Instance& instance, const Approx54Params& params) {
 
   // Step 1: bounds.  The witness doubles as the fallback packing.
   report.lower_bound = combined_lower_bound(instance);
-  Packing witness = algo::best_of_portfolio(instance);
+  Packing witness = algo::best_of_portfolio(instance, nullptr, params.backend);
   const Height witness_peak = peak_height(instance, witness);
   report.upper_bound = witness_peak;
 

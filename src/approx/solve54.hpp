@@ -4,6 +4,7 @@
 
 #include "approx/classify.hpp"
 #include "core/packing.hpp"
+#include "core/profile.hpp"
 
 namespace dsp::approx {
 
@@ -17,6 +18,9 @@ struct Approx54Params {
   std::size_t max_configs = 4096;
   /// Cap on the number of gap boxes handed to the LP (rows stay small).
   std::size_t max_gap_boxes = 48;
+  /// Demand-profile implementation every placement step (and the witness
+  /// portfolio) runs on; kAuto picks sparse on wide, lightly covered strips.
+  ProfileBackendKind backend = ProfileBackendKind::kDense;
 };
 
 /// Diagnostics of one run — the quantities experiments E7/E9/E11 report.

@@ -25,7 +25,8 @@ struct MakespanSolution {
 };
 
 MakespanSolution makespan_via_duality(const std::vector<Item>& items, Height m,
-                                      Length width_cap) {
+                                      Length width_cap,
+                                      ProfileBackendKind backend) {
   // Feasible fallback: all jobs in sequence (width = sum of widths).
   Length lo = 1;
   Length hi = 0;
@@ -39,7 +40,7 @@ MakespanSolution makespan_via_duality(const std::vector<Item>& items, Height m,
   while (lo <= hi) {
     const Length mid = lo + (hi - lo) / 2;
     const Instance inst(mid, items);
-    const Packing packing = algo::best_of_portfolio(inst);
+    const Packing packing = algo::best_of_portfolio(inst, nullptr, backend);
     if (peak_height(inst, packing) <= m) {
       best.packing = packing;
       best.width = mid;
@@ -63,7 +64,8 @@ MakespanSolution makespan_via_duality(const std::vector<Item>& items, Height m,
 }  // namespace
 
 DspWidthAugmentation augment_dsp_width(const Instance& instance,
-                                       const Fraction& epsilon) {
+                                       const Fraction& epsilon,
+                                       ProfileBackendKind backend) {
   DSP_REQUIRE(epsilon > Fraction(0), "epsilon must be positive");
   DSP_REQUIRE(instance.size() > 0, "empty instance");
   const Length width_budget =
@@ -74,7 +76,7 @@ DspWidthAugmentation augment_dsp_width(const Instance& instance,
   result.height_floor = combined_lower_bound(instance);
   // Upper seed: the witness height at the original width is always accepted
   // (its width is W <= budget).
-  const Packing witness = algo::best_of_portfolio(instance);
+  const Packing witness = algo::best_of_portfolio(instance, nullptr, backend);
   Height hi = peak_height(instance, witness);
   Height lo = instance.max_height();
   result.packing = witness;
@@ -83,7 +85,8 @@ DspWidthAugmentation augment_dsp_width(const Instance& instance,
   while (lo <= hi) {
     const Height mid = lo + (hi - lo) / 2;
     ++result.probes;
-    const MakespanSolution sol = makespan_via_duality(items, mid, width_budget);
+    const MakespanSolution sol =
+        makespan_via_duality(items, mid, width_budget, backend);
     if (sol.width <= width_budget) {
       result.packing = sol.packing;
       result.height = mid;
@@ -145,24 +148,27 @@ PtsMachineAugmentation augment_pts_machines(
 }  // namespace
 
 PtsMachineAugmentation augment_pts_machines_53(const pts::PtsInstance& instance,
-                                               const Fraction& epsilon) {
+                                               const Fraction& epsilon,
+                                               ProfileBackendKind backend) {
   return augment_pts_machines(
       instance, Fraction(5, 3) + epsilon,
-      [](const Instance& inst) -> std::pair<Height, Packing> {
-        Packing packing = algo::best_of_portfolio(inst);
+      [backend](const Instance& inst) -> std::pair<Height, Packing> {
+        Packing packing = algo::best_of_portfolio(inst, nullptr, backend);
         const Height peak = peak_height(inst, packing);
         return {peak, std::move(packing)};
       });
 }
 
 PtsMachineAugmentation augment_pts_machines_54(const pts::PtsInstance& instance,
-                                               const Fraction& epsilon) {
+                                               const Fraction& epsilon,
+                                               ProfileBackendKind backend) {
   const Fraction eps = epsilon;
   return augment_pts_machines(
       instance, Fraction(5, 4) + epsilon,
-      [eps](const Instance& inst) -> std::pair<Height, Packing> {
+      [eps, backend](const Instance& inst) -> std::pair<Height, Packing> {
         approx::Approx54Params params;
         params.epsilon = eps;
+        params.backend = backend;
         approx::Approx54Result result = approx::solve54(inst, params);
         return {result.peak, std::move(result.packing)};
       });

@@ -1,6 +1,7 @@
 #pragma once
 
 #include "core/packing.hpp"
+#include "core/profile.hpp"
 #include "pts/pts.hpp"
 #include "util/fraction.hpp"
 
@@ -31,8 +32,9 @@ struct DspWidthAugmentation {
 /// is at most (3/2 + eps) * W.  The returned height is the smallest
 /// accepted guess — at most OPT(W) whenever the black box meets the
 /// (3/2+eps) ratio of [16] on the instance (measured in experiment E5).
-[[nodiscard]] DspWidthAugmentation augment_dsp_width(const Instance& instance,
-                                                     const Fraction& epsilon);
+[[nodiscard]] DspWidthAugmentation augment_dsp_width(
+    const Instance& instance, const Fraction& epsilon,
+    ProfileBackendKind backend = ProfileBackendKind::kDense);
 
 /// Result of the Corollary-3/4 frameworks: a schedule of *optimal-or-better
 /// makespan* using an augmented number of machines.
@@ -47,12 +49,14 @@ struct PtsMachineAugmentation {
 /// Corollary 3: machine augmentation by (5/3 + eps) with the baseline
 /// portfolio as the DSP black box (stand-in for [3, 6]).
 [[nodiscard]] PtsMachineAugmentation augment_pts_machines_53(
-    const pts::PtsInstance& instance, const Fraction& epsilon);
+    const pts::PtsInstance& instance, const Fraction& epsilon,
+    ProfileBackendKind backend = ProfileBackendKind::kDense);
 
 /// Corollary 4: machine augmentation by (5/4 + eps) with the Theorem-5
 /// pipeline as the DSP black box (the parameterized pseudo-polynomial
 /// setting).
 [[nodiscard]] PtsMachineAugmentation augment_pts_machines_54(
-    const pts::PtsInstance& instance, const Fraction& epsilon);
+    const pts::PtsInstance& instance, const Fraction& epsilon,
+    ProfileBackendKind backend = ProfileBackendKind::kDense);
 
 }  // namespace dsp::augment

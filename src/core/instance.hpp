@@ -26,6 +26,15 @@ struct Item {
   [[nodiscard]] bool operator==(const Item&) const = default;
 };
 
+/// Result of a peak-minimizing placement search over a demand profile
+/// (StripOccupancy, SegmentTree, or the ProfileBackend interface): the
+/// leftmost start minimizing the load under an item of a given width,
+/// together with that load.
+struct BestPosition {
+  Length start;
+  Height window_max;  ///< max load under the item before adding it
+};
+
 /// A Demand Strip Packing instance: a strip of width W and n items.
 ///
 /// Invariants (checked on construction): W >= 1, every item has

@@ -30,6 +30,15 @@ void StripOccupancy::remove(Length start, Length width, Height height) {
   add(start, width, -height);
 }
 
+void StripOccupancy::raise_to(Length start, Length width, Height target) {
+  DSP_REQUIRE(start >= 0 && width >= 1 && start + width <= strip_width(),
+              "raise_to outside strip: start=" << start << " width=" << width);
+  for (Length x = start; x < start + width; ++x) {
+    auto& load = load_[static_cast<std::size_t>(x)];
+    load = std::max(load, target);
+  }
+}
+
 Height StripOccupancy::window_max(Length start, Length width) const {
   DSP_REQUIRE(start >= 0 && width >= 1 && start + width <= strip_width(),
               "window outside strip");
@@ -38,6 +47,16 @@ Height StripOccupancy::window_max(Length start, Length width) const {
     m = std::max(m, load_[static_cast<std::size_t>(x)]);
   }
   return m;
+}
+
+Length StripOccupancy::next_change(Length x) const {
+  const Length w = strip_width();
+  DSP_REQUIRE(x >= 0 && x < w, "next_change outside the strip");
+  const Height v = load_[static_cast<std::size_t>(x)];
+  for (Length y = x + 1; y < w; ++y) {
+    if (load_[static_cast<std::size_t>(y)] != v) return y;
+  }
+  return w;
 }
 
 std::vector<Height> StripOccupancy::window_maxima(Length width) const {
@@ -70,7 +89,7 @@ std::optional<Length> StripOccupancy::first_fit(Length width, Height height,
   return std::nullopt;
 }
 
-StripOccupancy::BestPosition StripOccupancy::min_peak_position(Length width) const {
+BestPosition StripOccupancy::min_peak_position(Length width) const {
   DSP_REQUIRE(width >= 1 && width <= strip_width(), "item wider than strip");
   const std::vector<Height> maxima = window_maxima(width);
   std::size_t best = 0;

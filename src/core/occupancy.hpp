@@ -32,8 +32,16 @@ class StripOccupancy {
   /// Removes a previously added item (no bookkeeping: caller's contract).
   void remove(Length start, Length width, Height height);
 
+  /// Raises every column in [start, start+width) to at least `target`
+  /// (skyline-style placement: lift the covered region to the item's top).
+  void raise_to(Length start, Length width, Height target);
+
   /// Max load over [start, start+width).
   [[nodiscard]] Height window_max(Length start, Length width) const;
+
+  /// Smallest x' > x where the load differs from load_at(x), or W when the
+  /// run extends to the strip's end.
+  [[nodiscard]] Length next_change(Length x) const;
 
   /// Leftmost start x in [0, W-width] such that window_max(x, width) + height
   /// <= budget, or nullopt if none exists.
@@ -43,10 +51,6 @@ class StripOccupancy {
   /// A start position minimizing the peak after adding an item of the given
   /// width (leftmost among minimizers), together with that resulting local
   /// max.  Never fails for width <= W.
-  struct BestPosition {
-    Length start;
-    Height window_max;  ///< max load under the item before adding it
-  };
   [[nodiscard]] BestPosition min_peak_position(Length width) const;
 
  private:

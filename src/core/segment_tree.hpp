@@ -1,6 +1,9 @@
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
+#include <limits>
+#include <optional>
 #include <vector>
 
 #include "core/instance.hpp"
@@ -9,13 +12,22 @@
 namespace dsp {
 
 /// Lazy segment tree over strip columns supporting range-add (place/remove
-/// an item) and range-max (peak over a window) in O(log W).
+/// an item), range-raise (skyline-style "lift to at least y"), range-max
+/// (peak over a window) and the placement searches `first_fit` /
+/// `min_peak_position` — all polylogarithmic in the strip width.
 ///
 /// StripOccupancy's dense O(W) passes are the right tool for the
 /// pseudo-polynomial regime this paper targets; this tree is the
 /// alternative for *sparse* workloads (few items on a very wide strip),
 /// where n log W beats n·W.  Both structures satisfy the same contract and
-/// are cross-checked against each other in tests.
+/// are cross-checked against each other in tests (see
+/// tests/test_profile_backend.cpp and the ProfileBackend layer in
+/// core/profile.hpp).
+///
+/// Pending updates are the monotone maps v ↦ max(v + add, floor); add and
+/// raise compose into this form, so one lazy slot per node suffices.  Each
+/// node stores the true min/max of its subtree; the lazy applies to the
+/// children only (classical push-down formulation).
 class SegmentTree {
  public:
   explicit SegmentTree(Length width) : width_(width) {
@@ -24,7 +36,9 @@ class SegmentTree {
     while (size < static_cast<std::size_t>(width)) size <<= 1;
     size_ = size;
     max_.assign(2 * size_, 0);
-    lazy_.assign(2 * size_, 0);
+    min_.assign(2 * size_, 0);
+    add_.assign(2 * size_, 0);
+    floor_.assign(2 * size_, kNoFloor);
   }
 
   [[nodiscard]] Length width() const { return width_; }
@@ -33,7 +47,14 @@ class SegmentTree {
   void range_add(Length begin, Length end, Height delta) {
     DSP_REQUIRE(0 <= begin && begin < end && end <= width_,
                 "range_add outside the strip");
-    add(1, 0, static_cast<Length>(size_), begin, end, delta);
+    update(1, 0, static_cast<Length>(size_), begin, end, delta, kNoFloor);
+  }
+
+  /// Raises every column in [begin, end) to at least `target`.
+  void range_raise(Length begin, Length end, Height target) {
+    DSP_REQUIRE(0 <= begin && begin < end && end <= width_,
+                "range_raise outside the strip");
+    update(1, 0, static_cast<Length>(size_), begin, end, 0, target);
   }
 
   /// Max load over [begin, end).
@@ -44,25 +65,125 @@ class SegmentTree {
   }
 
   /// Max load over the whole strip.
-  [[nodiscard]] Height peak() const { return max_[1] + lazy_[1]; }
+  [[nodiscard]] Height peak() const { return max_[1]; }
+
+  /// Leftmost start x in [0, W-width] such that range_max(x, x+width) +
+  /// height <= budget, or nullopt if none exists.  Costs O(log^2 W) per
+  /// *blocked run* crossed, so sparse profiles are searched in
+  /// O((n + 1) polylog W) instead of the dense O(W) sweep.
+  [[nodiscard]] std::optional<Length> first_fit(Length item_width,
+                                                Height height,
+                                                Height budget) const {
+    DSP_REQUIRE(item_width >= 1 && item_width <= width_,
+                "item wider than strip");
+    const Height threshold = budget - height;
+    Length x = 0;
+    while (x + item_width <= width_) {
+      const Length blocked = find_first_above(x, x + item_width, threshold);
+      if (blocked < 0) return x;
+      // Every start in [x, blocked] covers the blocked column; resume at the
+      // first clear column after the blocked run.
+      const Length clear = find_first_leq(blocked + 1, width_, threshold);
+      if (clear < 0) return std::nullopt;
+      x = clear;
+    }
+    return std::nullopt;
+  }
+
+  /// Smallest x' > x where the load differs from the load at x, or W when
+  /// the run extends to the strip's end — two descents per call, so a whole
+  /// profile enumerates in O(runs · log W).
+  [[nodiscard]] Length next_change(Length x) const {
+    DSP_REQUIRE(0 <= x && x < width_, "next_change outside the strip");
+    if (x + 1 >= width_) return width_;
+    const Height v = range_max(x, x + 1);
+    const Length above = find_first_above(x + 1, width_, v);
+    const Length below = find_first_leq(x + 1, width_, v - 1);
+    Length next = width_;
+    if (above >= 0) next = std::min(next, above);
+    if (below >= 0) next = std::min(next, below);
+    return next;
+  }
+
+  /// A start position minimizing the peak after adding an item of the given
+  /// width (leftmost among minimizers), together with that resulting local
+  /// max — binary search over the budget with `first_fit` as the oracle.
+  [[nodiscard]] BestPosition min_peak_position(Length item_width) const {
+    DSP_REQUIRE(item_width >= 1 && item_width <= width_,
+                "item wider than strip");
+    Height lo = min_[1];  // window max is at least the smallest column
+    Height hi = peak();   // and at most the global peak (always feasible)
+    while (lo < hi) {
+      const Height mid = lo + (hi - lo) / 2;
+      if (first_fit(item_width, 0, mid).has_value()) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    const std::optional<Length> start = first_fit(item_width, 0, lo);
+    DSP_REQUIRE(start.has_value(), "internal: peak budget must be feasible");
+    return {*start, lo};
+  }
 
  private:
-  void add(std::size_t node, Length lo, Length hi, Length begin, Length end,
-           Height delta) {
+  static constexpr Height kNoFloor = std::numeric_limits<Height>::min();
+
+  /// Applies the pending map v ↦ max(v + add, floor) to a value.
+  static Height eval(Height value, Height add, Height floor) {
+    const Height shifted = value + add;
+    return floor == kNoFloor ? shifted : std::max(shifted, floor);
+  }
+
+  /// Floor of the composition "first (a1, b1), then (a2, b2)":
+  /// max(v + a1 + a2, max(b1 + a2, b2)).
+  static Height compose_floor(Height b1, Height a2, Height b2) {
+    if (b1 == kNoFloor) return b2;
+    const Height shifted = b1 + a2;
+    return b2 == kNoFloor ? shifted : std::max(shifted, b2);
+  }
+
+  /// Applies (add, floor) to a node's stored values and, for internal nodes,
+  /// folds it into the lazy pending for the children.
+  void apply(std::size_t node, Height add, Height floor) {
+    max_[node] = eval(max_[node], add, floor);
+    min_[node] = eval(min_[node], add, floor);
+    if (node < size_) {
+      floor_[node] = compose_floor(floor_[node], add, floor);
+      add_[node] += add;
+    }
+  }
+
+  void push(std::size_t node) {
+    if (add_[node] != 0 || floor_[node] != kNoFloor) {
+      apply(2 * node, add_[node], floor_[node]);
+      apply(2 * node + 1, add_[node], floor_[node]);
+      add_[node] = 0;
+      floor_[node] = kNoFloor;
+    }
+  }
+
+  void pull(std::size_t node) {
+    max_[node] = std::max(max_[2 * node], max_[2 * node + 1]);
+    min_[node] = std::min(min_[2 * node], min_[2 * node + 1]);
+  }
+
+  void update(std::size_t node, Length lo, Length hi, Length begin, Length end,
+              Height add, Height floor) {
     if (begin <= lo && hi <= end) {
-      lazy_[node] += delta;
+      apply(node, add, floor);
       return;
     }
+    push(node);
     const Length mid = lo + (hi - lo) / 2;
-    if (begin < mid) add(2 * node, lo, mid, begin, end, delta);
-    if (end > mid) add(2 * node + 1, mid, hi, begin, end, delta);
-    max_[node] = std::max(max_[2 * node] + lazy_[2 * node],
-                          max_[2 * node + 1] + lazy_[2 * node + 1]);
+    if (begin < mid) update(2 * node, lo, mid, begin, end, add, floor);
+    if (end > mid) update(2 * node + 1, mid, hi, begin, end, add, floor);
+    pull(node);
   }
 
   [[nodiscard]] Height query(std::size_t node, Length lo, Length hi,
                              Length begin, Length end) const {
-    if (begin <= lo && hi <= end) return max_[node] + lazy_[node];
+    if (begin <= lo && hi <= end) return max_[node];
     const Length mid = lo + (hi - lo) / 2;
     Height best = 0;
     bool any = false;
@@ -74,13 +195,67 @@ class SegmentTree {
       const Height right = query(2 * node + 1, mid, hi, begin, end);
       best = any ? std::max(best, right) : right;
     }
-    return best + lazy_[node];
+    // The children's stored values are stale by this node's pending lazy;
+    // the map is monotone, so applying it to their max commutes.
+    return eval(best, add_[node], floor_[node]);
+  }
+
+  /// Leftmost column in [begin, end) with load > threshold, or -1.
+  /// (a, b): composition of the ancestors' pending lazies applying to this
+  /// node's stored values.
+  [[nodiscard]] Length find_first_above(Length begin, Length end,
+                                        Height threshold) const {
+    if (begin >= end) return -1;
+    return descend_above(1, 0, static_cast<Length>(size_), begin, end,
+                         threshold, 0, kNoFloor);
+  }
+
+  [[nodiscard]] Length descend_above(std::size_t node, Length lo, Length hi,
+                                     Length begin, Length end, Height threshold,
+                                     Height a, Height b) const {
+    if (hi <= begin || end <= lo) return -1;
+    if (eval(max_[node], a, b) <= threshold) return -1;
+    if (node >= size_) return lo;
+    const Height child_a = add_[node] + a;
+    const Height child_b = compose_floor(floor_[node], a, b);
+    const Length mid = lo + (hi - lo) / 2;
+    const Length left = descend_above(2 * node, lo, mid, begin, end, threshold,
+                                      child_a, child_b);
+    if (left >= 0) return left;
+    return descend_above(2 * node + 1, mid, hi, begin, end, threshold, child_a,
+                         child_b);
+  }
+
+  /// Leftmost column in [begin, end) with load <= threshold, or -1.
+  [[nodiscard]] Length find_first_leq(Length begin, Length end,
+                                      Height threshold) const {
+    if (begin >= end) return -1;
+    return descend_leq(1, 0, static_cast<Length>(size_), begin, end, threshold,
+                       0, kNoFloor);
+  }
+
+  [[nodiscard]] Length descend_leq(std::size_t node, Length lo, Length hi,
+                                   Length begin, Length end, Height threshold,
+                                   Height a, Height b) const {
+    if (hi <= begin || end <= lo) return -1;
+    if (eval(min_[node], a, b) > threshold) return -1;
+    if (node >= size_) return lo;
+    const Height child_a = add_[node] + a;
+    const Height child_b = compose_floor(floor_[node], a, b);
+    const Length mid = lo + (hi - lo) / 2;
+    const Length left = descend_leq(2 * node, lo, mid, begin, end, threshold,
+                                    child_a, child_b);
+    if (left >= 0) return left;
+    return descend_leq(2 * node + 1, mid, hi, begin, end, threshold, child_a,
+                       child_b);
   }
 
   Length width_;
   std::size_t size_ = 1;
   std::vector<Height> max_;
-  std::vector<Height> lazy_;
+  std::vector<Height> min_;
+  std::vector<Height> add_;
+  std::vector<Height> floor_;
 };
 
 }  // namespace dsp

@@ -1,70 +1,69 @@
 #include "sp/bottom_left.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
 #include <vector>
+
+#include "core/profile.hpp"
 
 namespace dsp::sp {
 
 namespace {
 
-/// Skyline as piecewise-constant heights: segment i spans
-/// [xs[i], xs[i+1]) at height hs[i]; xs.front()==0, sentinel xs.back()==W.
+/// Skyline over a demand-profile backend: the profile holds the piecewise-
+/// constant roof heights, this struct additionally tracks the breakpoint
+/// positions (xs.front()==0, sentinel xs.back()==W) that are the candidate
+/// placements of the bottom-left rule.  Breakpoints are kept exactly at the
+/// roof's discontinuities, matching the coalesced segment representation.
 struct Skyline {
   std::vector<Length> xs;
-  std::vector<Height> hs;
+  std::unique_ptr<ProfileBackend> profile;
 
-  explicit Skyline(Length width) : xs{0, width}, hs{0} {}
+  Skyline(Length width, ProfileBackendKind backend, std::size_t items)
+      : xs{0, width}, profile(make_profile_backend(backend, width, items)) {}
 
   /// Max height over [x, x+w).
   [[nodiscard]] Height roof(Length x, Length w) const {
-    Height top = 0;
-    for (std::size_t s = 0; s + 1 < xs.size(); ++s) {
-      if (xs[s + 1] <= x) continue;
-      if (xs[s] >= x + w) break;
-      top = std::max(top, hs[s]);
-    }
-    return top;
+    return profile->window_max(x, w);
   }
 
   /// Raise [x, x+w) to height y (y must be >= current roof there).
   void place(Length x, Length w, Height y) {
-    // Insert breakpoints at x and x+w, then overwrite the covered segments.
-    insert_break(x);
-    insert_break(x + w);
-    for (std::size_t s = 0; s + 1 < xs.size(); ++s) {
-      if (xs[s] >= x && xs[s + 1] <= x + w) hs[s] = y;
-    }
-    coalesce();
+    profile->raise_to(x, w, y);
+    // Breakpoints inside (x, x+w) are flattened away; x and x+w remain
+    // breakpoints only where the roof is discontinuous.
+    const auto lo = std::upper_bound(xs.begin(), xs.end(), x);
+    const auto hi = std::lower_bound(lo, xs.end(), x + w);
+    xs.erase(lo, hi);
+    insert_sorted(x);
+    insert_sorted(x + w);
+    coalesce_at(x);
+    coalesce_at(x + w);
   }
 
  private:
-  void insert_break(Length x) {
-    for (std::size_t s = 0; s + 1 < xs.size(); ++s) {
-      if (xs[s] == x) return;
-      if (xs[s] < x && x < xs[s + 1]) {
-        xs.insert(xs.begin() + static_cast<std::ptrdiff_t>(s) + 1, x);
-        hs.insert(hs.begin() + static_cast<std::ptrdiff_t>(s) + 1, hs[s]);
-        return;
-      }
-    }
+  void insert_sorted(Length v) {
+    const auto it = std::lower_bound(xs.begin(), xs.end(), v);
+    if (it == xs.end() || *it != v) xs.insert(it, v);
   }
 
-  void coalesce() {
-    for (std::size_t s = 0; s + 1 < hs.size();) {
-      if (hs[s] == hs[s + 1]) {
-        xs.erase(xs.begin() + static_cast<std::ptrdiff_t>(s) + 1);
-        hs.erase(hs.begin() + static_cast<std::ptrdiff_t>(s) + 1);
-      } else {
-        ++s;
-      }
-    }
+  /// Drops the breakpoint at `x` if the roof is continuous across it.
+  void coalesce_at(Length x) {
+    if (x <= 0 || x >= profile->strip_width()) return;
+    if (profile->load_at(x - 1) != profile->load_at(x)) return;
+    const auto it = std::lower_bound(xs.begin(), xs.end(), x);
+    if (it != xs.end() && *it == x) xs.erase(it);
   }
 };
 
 }  // namespace
 
 SpPacking bottom_left(const Instance& instance) {
+  return bottom_left(instance, ProfileBackendKind::kDense);
+}
+
+SpPacking bottom_left(const Instance& instance, ProfileBackendKind backend) {
   const Length w = instance.strip_width();
   std::vector<std::size_t> order(instance.size());
   std::iota(order.begin(), order.end(), 0);
@@ -78,7 +77,7 @@ SpPacking bottom_left(const Instance& instance) {
 
   SpPacking packing;
   packing.position.resize(instance.size());
-  Skyline skyline(w);
+  Skyline skyline(w, backend, instance.size());
   for (const std::size_t i : order) {
     const Item& it = instance.item(i);
     // Candidate x positions: skyline breakpoints (left-justified placements).

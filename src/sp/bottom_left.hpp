@@ -1,5 +1,6 @@
 #pragma once
 
+#include "core/profile.hpp"
 #include "sp/sp.hpp"
 
 namespace dsp::sp {
@@ -8,6 +9,12 @@ namespace dsp::sp {
 /// placed at the lowest (then leftmost) skyline position that fits.  Not a
 /// bounded-ratio algorithm, but the strongest practical SP comparator in the
 /// integrality-gap experiments (E1) and a second SP-as-DSP baseline.
+///
+/// The skyline is stored in a demand-profile backend: dense columns by
+/// default, or the segment tree for wide sparse strips.  Both produce the
+/// identical packing.
 [[nodiscard]] SpPacking bottom_left(const Instance& instance);
+[[nodiscard]] SpPacking bottom_left(const Instance& instance,
+                                    ProfileBackendKind backend);
 
 }  // namespace dsp::sp

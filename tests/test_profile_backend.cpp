@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "algo/baselines.hpp"
+#include "approx/solve54.hpp"
+#include "core/profile.hpp"
+#include "gen/families.hpp"
+#include "sp/bottom_left.hpp"
+#include "util/prng.hpp"
+
+namespace dsp {
+namespace {
+
+TEST(ProfileBackend, FactoryProducesRequestedKind) {
+  EXPECT_EQ(make_profile_backend(ProfileBackendKind::kDense, 10)->name(),
+            "dense");
+  EXPECT_EQ(make_profile_backend(ProfileBackendKind::kSparse, 10)->name(),
+            "sparse");
+}
+
+TEST(ProfileBackend, AutoResolvesByShape) {
+  // Narrow strip: dense regardless of item count.
+  EXPECT_EQ(resolve_backend(ProfileBackendKind::kAuto, 100, 2),
+            ProfileBackendKind::kDense);
+  // Wide, lightly covered strip: sparse.
+  EXPECT_EQ(resolve_backend(ProfileBackendKind::kAuto, 100000, 10),
+            ProfileBackendKind::kSparse);
+  // Wide but densely covered: dense.
+  EXPECT_EQ(resolve_backend(ProfileBackendKind::kAuto, 100000, 50000),
+            ProfileBackendKind::kDense);
+  // Concrete kinds resolve to themselves.
+  EXPECT_EQ(resolve_backend(ProfileBackendKind::kDense, 100000, 10),
+            ProfileBackendKind::kDense);
+  EXPECT_EQ(resolve_backend(ProfileBackendKind::kSparse, 8, 10),
+            ProfileBackendKind::kSparse);
+}
+
+TEST(SparseProfileBackend, FirstFitMatchesContract) {
+  const auto p = make_profile_backend(ProfileBackendKind::kSparse, 10);
+  // Profile: [0,4) at 5, [4,7) empty, [7,10) at 2.
+  p->add(0, 4, 5);
+  p->add(7, 3, 2);
+  EXPECT_EQ(p->first_fit(3, 1, 1), std::optional<Length>(4));
+  EXPECT_EQ(p->first_fit(3, 3, 5), std::optional<Length>(4));
+  EXPECT_EQ(p->first_fit(3, 3, 8), std::optional<Length>(0));
+  EXPECT_EQ(p->first_fit(4, 1, 2), std::nullopt);   // no 4-wide gap under 2
+  EXPECT_EQ(p->first_fit(10, 1, 6), std::optional<Length>(0));
+  EXPECT_EQ(p->first_fit(10, 2, 6), std::nullopt);  // full width, over budget
+}
+
+TEST(SparseProfileBackend, MinPeakPositionPrefersValleys) {
+  const auto p = make_profile_backend(ProfileBackendKind::kSparse, 9);
+  p->add(0, 3, 4);
+  p->add(6, 3, 2);
+  const auto best = p->min_peak_position(3);
+  EXPECT_EQ(best.start, 3);
+  EXPECT_EQ(best.window_max, 0);
+  p->add(3, 3, 7);
+  const auto next = p->min_peak_position(2);
+  EXPECT_EQ(next.start, 6);
+  EXPECT_EQ(next.window_max, 2);
+}
+
+TEST(SparseProfileBackend, RaiseToLiftsWindow) {
+  const auto p = make_profile_backend(ProfileBackendKind::kSparse, 8);
+  p->add(2, 2, 5);
+  p->raise_to(0, 6, 3);
+  EXPECT_EQ(p->load_at(0), 3);
+  EXPECT_EQ(p->load_at(2), 5);  // already above the target
+  EXPECT_EQ(p->load_at(5), 3);
+  EXPECT_EQ(p->load_at(6), 0);
+  EXPECT_EQ(p->peak(), 5);
+}
+
+// --- randomized operation-level equivalence -------------------------------
+
+class BackendEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(BackendEquivalence, AgreeOnRandomOperations) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 6007 + 17);
+  // Alternate between narrow strips (dense regime) and wide ones that
+  // exercise deep tree descents.
+  const Length w = GetParam() % 2 == 0 ? rng.uniform(2, 60)
+                                       : rng.uniform(500, 4000);
+  const auto dense = make_profile_backend(ProfileBackendKind::kDense, w);
+  const auto sparse = make_profile_backend(ProfileBackendKind::kSparse, w);
+  struct Placed {
+    Length start;
+    Length width;
+    Height height;
+  };
+  std::vector<Placed> placed;
+  for (int op = 0; op < 160; ++op) {
+    const Length width = rng.uniform(1, w);
+    const Length start = rng.uniform(0, w - width);
+    switch (rng.uniform(0, 5)) {
+      case 0:
+      case 1: {  // add
+        const Height h = rng.uniform(1, 12);
+        dense->add(start, width, h);
+        sparse->add(start, width, h);
+        placed.push_back({start, width, h});
+        break;
+      }
+      case 2: {  // remove a previously placed item
+        if (placed.empty()) break;
+        const auto k = static_cast<std::size_t>(
+            rng.uniform(0, static_cast<std::int64_t>(placed.size()) - 1));
+        dense->remove(placed[k].start, placed[k].width, placed[k].height);
+        sparse->remove(placed[k].start, placed[k].width, placed[k].height);
+        placed.erase(placed.begin() + static_cast<std::ptrdiff_t>(k));
+        break;
+      }
+      case 3: {  // raise_to (skyline lift)
+        const Height target = rng.uniform(0, 20);
+        dense->raise_to(start, width, target);
+        sparse->raise_to(start, width, target);
+        placed.clear();  // removes are no longer meaningful
+        break;
+      }
+      case 4: {  // first_fit
+        const Height h = rng.uniform(1, 12);
+        const Height budget = rng.uniform(0, 30);
+        EXPECT_EQ(dense->first_fit(width, h, budget),
+                  sparse->first_fit(width, h, budget))
+            << "w=" << w << " width=" << width << " h=" << h
+            << " budget=" << budget;
+        break;
+      }
+      case 5: {  // min_peak_position
+        const auto a = dense->min_peak_position(width);
+        const auto b = sparse->min_peak_position(width);
+        EXPECT_EQ(a.start, b.start) << "w=" << w << " width=" << width;
+        EXPECT_EQ(a.window_max, b.window_max);
+        break;
+      }
+    }
+    EXPECT_EQ(dense->window_max(start, width),
+              sparse->window_max(start, width));
+    EXPECT_EQ(dense->next_change(start), sparse->next_change(start));
+  }
+  EXPECT_EQ(dense->peak(), sparse->peak());
+  for (Length x = 0; x < std::min<Length>(w, 64); ++x) {
+    EXPECT_EQ(dense->load_at(x), sparse->load_at(x)) << "x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, BackendEquivalence, ::testing::Range(0, 24));
+
+// --- algorithm-level equivalence: same packings on either backend ---------
+
+class AlgorithmBackendEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(AlgorithmBackendEquivalence, PlacementAlgorithmsAgree) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7121 + 3);
+  const Length w = rng.uniform(8, 200);
+  const Instance inst = gen::random_uniform(
+      static_cast<std::size_t>(rng.uniform(4, 30)), w, std::min<Length>(w, 40),
+      15, rng);
+
+  EXPECT_EQ(algo::greedy_lowest_peak(inst, algo::ItemOrder::kDecreasingHeight,
+                                     ProfileBackendKind::kDense),
+            algo::greedy_lowest_peak(inst, algo::ItemOrder::kDecreasingHeight,
+                                     ProfileBackendKind::kSparse));
+  EXPECT_EQ(algo::first_fit_search(inst, ProfileBackendKind::kDense),
+            algo::first_fit_search(inst, ProfileBackendKind::kSparse));
+  EXPECT_EQ(sp::bottom_left(inst, ProfileBackendKind::kDense).position,
+            sp::bottom_left(inst, ProfileBackendKind::kSparse).position);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, AlgorithmBackendEquivalence,
+                         ::testing::Range(0, 12));
+
+TEST(AlgorithmBackendEquivalence, Solve54AgreesAcrossBackends) {
+  Rng rng(99);
+  for (int round = 0; round < 4; ++round) {
+    const Instance inst = gen::random_uniform(
+        static_cast<std::size_t>(rng.uniform(6, 16)), 40, 12, 8, rng);
+    approx::Approx54Params dense_params;
+    dense_params.backend = ProfileBackendKind::kDense;
+    approx::Approx54Params sparse_params;
+    sparse_params.backend = ProfileBackendKind::kSparse;
+    const auto a = approx::solve54(inst, dense_params);
+    const auto b = approx::solve54(inst, sparse_params);
+    EXPECT_EQ(a.packing, b.packing) << inst.summary();
+    EXPECT_EQ(a.peak, b.peak);
+    EXPECT_EQ(a.report.best_guess, b.report.best_guess);
+  }
+}
+
+}  // namespace
+}  // namespace dsp

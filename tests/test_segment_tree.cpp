@@ -46,7 +46,7 @@ TEST(SegmentTree, RejectsBadRanges) {
   SegmentTree tree(8);
   EXPECT_THROW(tree.range_add(-1, 3, 1), InvalidInput);
   EXPECT_THROW(tree.range_add(3, 3, 1), InvalidInput);
-  EXPECT_THROW(tree.range_max(0, 9), InvalidInput);
+  EXPECT_THROW(static_cast<void>(tree.range_max(0, 9)), InvalidInput);
   EXPECT_THROW(SegmentTree(0), InvalidInput);
 }
 
