@@ -1,0 +1,137 @@
+// Parallel-runtime scaling: portfolio fan-out and batch sharding speedups
+// across thread counts, on the n=96 instance families of bench_common.
+// Emits one JSON line per (mode, family, threads) with millis and speedup
+// over the 1-thread run of the same parallel code path; "seq_millis" is the
+// plain sequential loop for reference.  Results are asserted bit-identical
+// to the sequential counterparts before any timing is reported.
+
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+
+#include "algo/portfolio.hpp"
+#include "bench_common.hpp"
+#include "runtime/parallel.hpp"
+
+namespace {
+
+using namespace dsp;
+
+constexpr std::size_t kN = 96;
+constexpr int kRepeats = 3;
+constexpr std::uint64_t kSeed = 20240613;
+
+double time_millis(const std::function<void()>& body) {
+  Stopwatch watch;
+  for (int r = 0; r < kRepeats; ++r) body();
+  return watch.millis() / kRepeats;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dsp;
+  const std::size_t hardware = runtime::ThreadPool::hardware_threads();
+  std::cout << "# bench_parallel_scaling: n=" << kN
+            << " families, hardware_threads=" << hardware
+            << " (speedups are bounded by the physical core count)\n";
+
+  const std::vector<std::size_t> thread_counts = {1, 2, 4, 8};
+  Table table({"mode", "family", "threads", "millis", "speedup"});
+
+  for (const bench::Family& family : bench::families()) {
+    Rng rng(kSeed);
+    const Instance instance = family.make(kN, rng);
+
+    // Mode 1: one instance, the portfolio fanned out across workers.
+    std::string seq_winner;
+    const Packing seq_best =
+        algo::best_of_portfolio(instance, &seq_winner);
+    const double seq_millis = time_millis(
+        [&]() { (void)algo::best_of_portfolio(instance); });
+    double base_millis = 0;
+    for (const std::size_t threads : thread_counts) {
+      // Pool built outside the timed region: the rows measure solve
+      // scaling, not thread spawn/join churn.
+      runtime::ThreadPool pool(threads);
+      std::string winner;
+      const Packing parallel_best =
+          runtime::parallel_best_of_portfolio(pool, instance, &winner);
+      if (!(parallel_best == seq_best) || winner != seq_winner) {
+        std::cerr << "determinism violation (portfolio, " << family.name
+                  << ", threads=" << threads << ")\n";
+        return EXIT_FAILURE;
+      }
+      const double millis = time_millis([&]() {
+        (void)runtime::parallel_best_of_portfolio(pool, instance);
+      });
+      if (threads == 1) base_millis = millis;
+      const double speedup = millis > 0 ? base_millis / millis : 0.0;
+      table.begin_row()
+          .cell("portfolio")
+          .cell(family.name)
+          .cell(threads)
+          .cell(millis)
+          .cell(speedup);
+      bench::JsonRow()
+          .field("bench", "parallel_scaling")
+          .field("mode", "portfolio")
+          .field("family", family.name)
+          .field("n", kN)
+          .field("threads", threads)
+          .field("hardware_threads", hardware)
+          .field("millis", millis)
+          .field("seq_millis", seq_millis)
+          .field("speedup", speedup)
+          .print(std::cout);
+    }
+
+    // Mode 2: a batch of instances sharded across workers.
+    constexpr std::size_t kBatch = 16;
+    std::vector<Instance> batch;
+    for (std::size_t b = 0; b < kBatch; ++b) {
+      Rng shard = rng.spawn(b);  // per-shard seeding: order-independent
+      batch.push_back(family.make(kN / 2, shard));
+    }
+    std::vector<runtime::BatchResult> sequential;
+    for (const Instance& inst : batch) {
+      runtime::BatchResult result;
+      result.packing = algo::best_of_portfolio(inst, &result.winner);
+      result.peak = peak_height(inst, result.packing);
+      sequential.push_back(std::move(result));
+    }
+    base_millis = 0;
+    for (const std::size_t threads : thread_counts) {
+      runtime::ThreadPool pool(threads);
+      if (runtime::solve_many(pool, batch) != sequential) {
+        std::cerr << "determinism violation (solve_many, " << family.name
+                  << ", threads=" << threads << ")\n";
+        return EXIT_FAILURE;
+      }
+      const double millis =
+          time_millis([&]() { (void)runtime::solve_many(pool, batch); });
+      if (threads == 1) base_millis = millis;
+      const double speedup = millis > 0 ? base_millis / millis : 0.0;
+      table.begin_row()
+          .cell("solve_many")
+          .cell(family.name)
+          .cell(threads)
+          .cell(millis)
+          .cell(speedup);
+      bench::JsonRow()
+          .field("bench", "parallel_scaling")
+          .field("mode", "solve_many")
+          .field("family", family.name)
+          .field("n", kN / 2)
+          .field("batch", kBatch)
+          .field("threads", threads)
+          .field("hardware_threads", hardware)
+          .field("millis", millis)
+          .field("speedup", speedup)
+          .print(std::cout);
+    }
+  }
+
+  table.print(std::cout);
+  return 0;
+}

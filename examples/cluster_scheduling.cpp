@@ -8,6 +8,7 @@
 #include "augment/augment.hpp"
 #include "exact/pts_exact.hpp"
 #include "pts/pts.hpp"
+#include "runtime/parallel.hpp"
 #include "transform/transform.hpp"
 #include "util/prng.hpp"
 #include "util/table.hpp"
@@ -62,5 +63,40 @@ int main() {
             << " machines\n";
   std::cout << "(optimal makespan on 6 machines was " << opt.makespan
             << "; augmentation may only improve it)\n";
+
+  // Batch capacity planning on the runtime: a fleet of clusters, each with
+  // its own job mix and a shared deadline T.  Theorem 1 maps "finish by T"
+  // onto a strip of width T, and the DSP peak of the packing is the machine
+  // count that cluster needs.  solve_many shards the fleet across the
+  // thread pool and returns, per cluster, exactly the sequential
+  // best_of_portfolio answer (runtime determinism contract, DESIGN.md).
+  constexpr Length kDeadline = 24;
+  constexpr std::size_t kFleet = 8;
+  std::vector<pts::PtsInstance> fleet;
+  std::vector<Instance> strips;
+  for (std::size_t c = 0; c < kFleet; ++c) {
+    Rng cluster_rng = rng.spawn(c);  // per-cluster stream: order-independent
+    std::vector<pts::Job> mix;
+    const auto jobs_in_mix = static_cast<std::size_t>(cluster_rng.uniform(10, 18));
+    for (std::size_t j = 0; j < jobs_in_mix; ++j) {
+      mix.push_back(pts::Job{cluster_rng.uniform(1, 12),
+                             static_cast<int>(cluster_rng.uniform(1, 5))});
+    }
+    fleet.emplace_back(6, mix);
+    strips.push_back(transform::pts_to_dsp_instance(fleet.back(), kDeadline));
+  }
+  const std::vector<runtime::BatchResult> plans = runtime::solve_many(strips);
+  std::cout << "\nFleet capacity plan (deadline T=" << kDeadline
+            << ", solve_many over " << kFleet << " clusters):\n";
+  Table plan_table({"cluster", "jobs", "work LB", "machines", "winner"});
+  for (std::size_t c = 0; c < kFleet; ++c) {
+    plan_table.begin_row()
+        .cell(c)
+        .cell(fleet[c].size())
+        .cell((fleet[c].total_work() + kDeadline - 1) / kDeadline)
+        .cell(plans[c].peak)
+        .cell(plans[c].winner);
+  }
+  plan_table.print(std::cout);
   return 0;
 }

@@ -29,8 +29,11 @@ struct NamedAlgorithm {
 
 /// Runs the whole portfolio and returns the packing with the lowest peak.
 /// If `winner` is non-null it receives the winning algorithm's name.
+/// The default kAuto backend resolves per instance, so large-W instances
+/// pick the sparse profile without caller opt-in; dense and sparse produce
+/// identical packings (the equivalence suite), only the cost differs.
 [[nodiscard]] Packing best_of_portfolio(
     const Instance& instance, std::string* winner = nullptr,
-    ProfileBackendKind backend = ProfileBackendKind::kDense);
+    ProfileBackendKind backend = ProfileBackendKind::kAuto);
 
 }  // namespace dsp::algo

@@ -8,6 +8,8 @@
 #include "approx/config_lp.hpp"
 #include "core/bounds.hpp"
 #include "core/profile.hpp"
+#include "runtime/parallel.hpp"
+#include "runtime/thread_pool.hpp"
 #include "util/check.hpp"
 
 namespace dsp::approx {
@@ -194,8 +196,12 @@ Approx54Result solve54(const Instance& instance, const Approx54Params& params) {
   DSP_REQUIRE(instance.size() > 0, "solve54 on empty instance");
   DSP_REQUIRE(params.epsilon > Fraction(0) && params.epsilon <= Fraction(1, 2),
               "epsilon must be in (0, 1/2]");
+  DSP_REQUIRE(params.probe_parallelism >= 1,
+              "probe_parallelism must be >= 1, got "
+                  << params.probe_parallelism);
   Approx54Result result;
   Approx54Report& report = result.report;
+  report.probe_parallelism = params.probe_parallelism;
 
   // Step 1: bounds.  The witness doubles as the fallback packing.
   report.lower_bound = combined_lower_bound(instance);
@@ -208,28 +214,66 @@ Approx54Result solve54(const Instance& instance, const Approx54Params& params) {
   Height best_pipeline_peak = 0;
   bool have_pipeline = false;
 
-  // Step 2: binary search over H'.
+  // Step 2: (speculative) binary search over H'.  Each round probes k
+  // guesses splitting [lo, hi] into k+1 equal segments; k = 1 degenerates to
+  // the classic bisection probe-for-probe (the single guess is the midpoint).
+  // Outcomes are reduced in ascending-guess order, so the search trajectory
+  // is deterministic for any thread schedule: the smallest successful guess
+  // becomes the new ceiling and every failed guess below it raises the
+  // floor, exactly the sequential success/failure invariant applied to all
+  // resolved probes at once.
   Height lo = report.lower_bound;
   Height hi = witness_peak;
   std::optional<AttemptOutcome> best_outcome;
+  const int k_max = params.probe_parallelism;
+  std::optional<runtime::ThreadPool> pool;  // spawned at the first wide round
   while (lo <= hi) {
-    const Height mid = lo + (hi - lo) / 2;
-    AttemptOutcome outcome = attempt(instance, mid, params);
-    ++report.attempts;
-    if (!have_pipeline || outcome.peak < best_pipeline_peak) {
-      best_pipeline_peak = outcome.peak;
-      have_pipeline = true;
+    ++report.rounds;
+    const Height span = hi - lo;
+    const auto k = static_cast<int>(
+        std::min<Height>(static_cast<Height>(k_max), span + 1));
+    std::vector<Height> guesses;
+    for (int i = 1; i <= k; ++i) {
+      const Height guess = lo + (span * i) / (k + 1);
+      if (guesses.empty() || guesses.back() != guess) guesses.push_back(guess);
     }
-    if (outcome.peak < best_peak) {
-      best_peak = outcome.peak;
-      best_packing = outcome.packing;
+    std::vector<AttemptOutcome> outcomes;
+    if (!pool && guesses.size() > 1) {
+      pool.emplace(static_cast<std::size_t>(k_max));
     }
-    if (outcome.within_budget) {
-      report.best_guess = mid;
-      best_outcome = std::move(outcome);
-      hi = mid - 1;
+    if (pool && guesses.size() > 1) {
+      outcomes = runtime::parallel_map(
+          *pool, guesses,
+          [&](Height guess, std::size_t) { return attempt(instance, guess, params); });
     } else {
-      lo = mid + 1;
+      outcomes.reserve(guesses.size());
+      for (const Height guess : guesses) {
+        outcomes.push_back(attempt(instance, guess, params));
+      }
+    }
+    report.attempts += guesses.size();
+    bool resolved = false;
+    for (std::size_t i = 0; i < guesses.size(); ++i) {
+      AttemptOutcome& outcome = outcomes[i];
+      if (!have_pipeline || outcome.peak < best_pipeline_peak) {
+        best_pipeline_peak = outcome.peak;
+        have_pipeline = true;
+      }
+      if (outcome.peak < best_peak) {
+        best_peak = outcome.peak;
+        best_packing = outcome.packing;
+      }
+      // Guesses past the first success lie above the new ceiling; they only
+      // feed the best-packing tracking above.
+      if (resolved) continue;
+      if (outcome.within_budget) {
+        report.best_guess = guesses[i];
+        best_outcome = std::move(outcome);
+        hi = guesses[i] - 1;
+        resolved = true;
+      } else {
+        lo = guesses[i] + 1;
+      }
     }
   }
   if (best_outcome) {

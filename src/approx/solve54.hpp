@@ -20,7 +20,12 @@ struct Approx54Params {
   std::size_t max_gap_boxes = 48;
   /// Demand-profile implementation every placement step (and the witness
   /// portfolio) runs on; kAuto picks sparse on wide, lightly covered strips.
-  ProfileBackendKind backend = ProfileBackendKind::kDense;
+  ProfileBackendKind backend = ProfileBackendKind::kAuto;
+  /// Speculative-bisection width k: each binary-search round probes k height
+  /// guesses concurrently (k equal splits of the open interval), shrinking
+  /// the search from ~log2 to ~log(k+1) rounds.  1 = today's sequential
+  /// bisection, probe-for-probe identical.  Must be >= 1.
+  int probe_parallelism = 1;
 };
 
 /// Diagnostics of one run — the quantities experiments E7/E9/E11 report.
@@ -37,7 +42,9 @@ struct Approx54Report {
   bool lp_used = false;          ///< Lemma-10 LP solved at the best guess
   std::size_t lp_configurations = 0;
   std::size_t lp_overflow = 0;   ///< items through the extra-box path
-  std::size_t attempts = 0;      ///< binary-search probes
+  std::size_t attempts = 0;      ///< binary-search probes (all rounds)
+  std::size_t rounds = 0;        ///< binary-search rounds (== attempts at k=1)
+  int probe_parallelism = 1;     ///< the k the search ran with
 };
 
 struct Approx54Result {

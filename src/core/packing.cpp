@@ -50,6 +50,12 @@ std::optional<std::string> feasibility_error(const Instance& instance,
   return std::nullopt;
 }
 
+void validate_packing(const Instance& instance, const Packing& packing) {
+  if (auto err = feasibility_error(instance, packing)) {
+    DSP_REQUIRE(false, "invalid packing: " << *err);
+  }
+}
+
 Height peak_height(const Instance& instance, const Packing& packing) {
   return LoadProfile(instance, packing).peak();
 }

@@ -41,6 +41,9 @@ class LoadProfile {
 [[nodiscard]] std::optional<std::string> feasibility_error(const Instance& instance,
                                                            const Packing& packing);
 
+/// Throwing form of feasibility_error: InvalidInput carrying the explanation.
+void validate_packing(const Instance& instance, const Packing& packing);
+
 /// Peak height of a packing (paper's objective H).  Throws on invalid input.
 [[nodiscard]] Height peak_height(const Instance& instance, const Packing& packing);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <sstream>
 
 #include "exact/three_partition.hpp"
 #include "util/check.hpp"
@@ -94,8 +95,11 @@ HardnessInstance sampled_no(std::size_t k, std::int64_t target, Rng& rng) {
       return three_partition_to_dsp(std::move(values), target);
     }
   }
-  DSP_REQUIRE(false, "could not sample a no-instance (k=" << k << ", B="
-                                                          << target << ")");
+  // Plain throw (not DSP_REQUIRE): -O0 cannot prove the macro noreturn, and
+  // this function has no value to return after exhausting its attempts.
+  std::ostringstream oss;
+  oss << "could not sample a no-instance (k=" << k << ", B=" << target << ")";
+  throw InvalidInput(oss.str());
 }
 
 Instance partition_to_dsp(const std::vector<std::int64_t>& values,

@@ -1,0 +1,85 @@
+#include "runtime/parallel.hpp"
+
+#include <algorithm>
+
+#include "algo/portfolio.hpp"
+#include "util/check.hpp"
+
+namespace dsp::runtime {
+
+namespace {
+
+/// Pool size for a self-owned pool: the requested thread count, never more
+/// workers than tasks (idle workers would only cost startup time).
+std::size_t own_pool_size(std::size_t requested, std::size_t tasks) {
+  if (requested == 0) requested = ThreadPool::hardware_threads();
+  return std::max<std::size_t>(1, std::min(requested, tasks));
+}
+
+}  // namespace
+
+Packing parallel_best_of_portfolio(ThreadPool& pool, const Instance& instance,
+                                   std::string* winner,
+                                   ProfileBackendKind backend,
+                                   std::atomic<Height>* live_peak) {
+  DSP_REQUIRE(instance.size() > 0,
+              "parallel_best_of_portfolio on empty instance");
+  const std::vector<algo::NamedAlgorithm> portfolio =
+      algo::baseline_portfolio(backend);
+
+  struct Candidate {
+    Packing packing;
+    Height peak = 0;
+  };
+  std::vector<Candidate> candidates = parallel_map(
+      pool, portfolio,
+      [&](const algo::NamedAlgorithm& algorithm, std::size_t) {
+        Candidate candidate;
+        candidate.packing = algorithm.run(instance);
+        candidate.peak = peak_height(instance, candidate.packing);
+        if (live_peak) atomic_fetch_min(*live_peak, candidate.peak);
+        return candidate;
+      });
+
+  // Deterministic reduction: leftmost strict minimum over portfolio indices,
+  // exactly the sequential best_of_portfolio tie-break.
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    if (candidates[i].peak < candidates[best].peak) best = i;
+  }
+  if (winner) *winner = portfolio[best].name;
+  return std::move(candidates[best].packing);
+}
+
+Packing parallel_best_of_portfolio(const Instance& instance,
+                                   std::string* winner,
+                                   const ParallelOptions& options) {
+  ThreadPool pool(
+      own_pool_size(options.threads, algo::baseline_portfolio().size()));
+  return parallel_best_of_portfolio(pool, instance, winner, options.backend,
+                                    options.live_peak);
+}
+
+std::vector<BatchResult> solve_many(ThreadPool& pool,
+                                    const std::vector<Instance>& instances,
+                                    ProfileBackendKind backend,
+                                    std::atomic<Height>* live_peak) {
+  return parallel_map(pool, instances,
+                      [&](const Instance& instance, std::size_t) {
+                        BatchResult result;
+                        result.packing = algo::best_of_portfolio(
+                            instance, &result.winner, backend);
+                        result.peak = peak_height(instance, result.packing);
+                        if (live_peak) atomic_fetch_min(*live_peak, result.peak);
+                        return result;
+                      });
+}
+
+std::vector<BatchResult> solve_many(const std::vector<Instance>& instances,
+                                    const ParallelOptions& options) {
+  if (instances.empty()) return {};
+  ThreadPool pool(own_pool_size(options.threads, instances.size()));
+  return solve_many(pool, instances, options.backend, options.live_peak);
+}
+
+}  // namespace dsp::runtime

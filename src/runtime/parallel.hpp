@@ -1,0 +1,114 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <future>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/packing.hpp"
+#include "core/profile.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace dsp::runtime {
+
+/// Parallel entry points over the baseline portfolio and batches of
+/// instances (DESIGN.md, "The parallel runtime").
+///
+/// Determinism contract: every function here returns results bit-identical
+/// to its sequential counterpart, for any thread count.  Work is fanned out
+/// on a ThreadPool, but reductions run over completed results in a fixed
+/// order (portfolio index, instance index) — never completion order.
+
+struct ParallelOptions {
+  /// Worker threads; 0 = ThreadPool::hardware_threads().
+  std::size_t threads = 0;
+  /// Profile backend every algorithm runs on (kAuto resolves per instance).
+  ProfileBackendKind backend = ProfileBackendKind::kAuto;
+  /// Optional early-reporting channel: workers atomically lower this to the
+  /// best peak seen so far, so a monitor thread can stream progress before
+  /// the deterministic reduction finishes.  Initialize to kPeakUnknown.
+  std::atomic<Height>* live_peak = nullptr;
+};
+
+/// Sentinel for an untouched `live_peak` slot.
+inline constexpr Height kPeakUnknown = std::numeric_limits<Height>::max();
+
+/// Lock-free monotone minimum, used by workers for early peak reporting.
+inline void atomic_fetch_min(std::atomic<Height>& target, Height value) {
+  Height current = target.load(std::memory_order_relaxed);
+  while (value < current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+/// Applies `fn(item, index)` to every element on the pool and returns the
+/// results in input order.  If any task throws, all tasks are still awaited
+/// (they may reference caller-owned state) and the first exception in input
+/// order is rethrown.
+template <typename T, typename F>
+auto parallel_map(ThreadPool& pool, const std::vector<T>& items, F&& fn)
+    -> std::vector<std::invoke_result_t<F&, const T&, std::size_t>> {
+  using R = std::invoke_result_t<F&, const T&, std::size_t>;
+  std::vector<std::future<R>> futures;
+  futures.reserve(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    futures.push_back(
+        pool.submit([&fn, &item = items[i], i]() { return fn(item, i); }));
+  }
+  std::vector<R> results;
+  results.reserve(items.size());
+  std::exception_ptr first_error;
+  for (std::future<R>& future : futures) {
+    try {
+      results.push_back(future.get());
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+/// Runs each portfolio member on its own worker and returns the packing the
+/// sequential `algo::best_of_portfolio` would return (deterministic
+/// tie-break by portfolio index).  `winner` receives the winning
+/// algorithm's name if non-null.
+[[nodiscard]] Packing parallel_best_of_portfolio(
+    ThreadPool& pool, const Instance& instance, std::string* winner = nullptr,
+    ProfileBackendKind backend = ProfileBackendKind::kAuto,
+    std::atomic<Height>* live_peak = nullptr);
+
+/// Convenience overload owning its pool (sized by `options.threads`, capped
+/// at the portfolio size).
+[[nodiscard]] Packing parallel_best_of_portfolio(
+    const Instance& instance, std::string* winner = nullptr,
+    const ParallelOptions& options = {});
+
+/// One batch answer: the portfolio-best packing of one instance.
+struct BatchResult {
+  Packing packing;
+  Height peak = 0;
+  std::string winner;
+
+  [[nodiscard]] bool operator==(const BatchResult&) const = default;
+};
+
+/// Shards a batch of instances across the pool, one portfolio solve per
+/// worker task; results are in instance order and each equals the
+/// sequential `best_of_portfolio` answer for that instance.
+[[nodiscard]] std::vector<BatchResult> solve_many(
+    ThreadPool& pool, const std::vector<Instance>& instances,
+    ProfileBackendKind backend = ProfileBackendKind::kAuto,
+    std::atomic<Height>* live_peak = nullptr);
+
+/// Convenience overload owning its pool (sized by `options.threads`, capped
+/// at the batch size).
+[[nodiscard]] std::vector<BatchResult> solve_many(
+    const std::vector<Instance>& instances, const ParallelOptions& options = {});
+
+}  // namespace dsp::runtime

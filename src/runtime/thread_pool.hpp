@@ -1,0 +1,69 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace dsp::runtime {
+
+/// Fixed-size thread pool behind every parallel entry point of the runtime
+/// (DESIGN.md, "The parallel runtime").  Deliberately work-stealing-free:
+/// tasks are coarse (one algorithm run, one bisection probe, one batch
+/// instance), so a single mutex-guarded FIFO queue is contention-free in
+/// practice and keeps the pool small enough to reason about under TSan.
+///
+/// Exceptions thrown by a task are captured in its future and rethrown at
+/// `get()`; a task failure never takes down a worker.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means hardware_threads().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (always >= 1).
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// std::thread::hardware_concurrency with a floor of 1 (the standard
+  /// permits 0 for "unknown").
+  [[nodiscard]] static std::size_t hardware_threads();
+
+  /// Enqueues a task and returns the future of its result.  The callable
+  /// runs exactly once on some worker; its exception (if any) surfaces at
+  /// future.get().
+  template <typename F>
+  [[nodiscard]] std::future<std::invoke_result_t<std::decay_t<F>>> submit(
+      F&& task) {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto packaged =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(task));
+    std::future<R> result = packaged->get_future();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace_back([packaged]() { (*packaged)(); });
+    }
+    work_available_.notify_one();
+    return result;
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  bool stopping_ = false;
+};
+
+}  // namespace dsp::runtime
