@@ -4,13 +4,23 @@
 // over the 1-thread run of the same parallel code path; "seq_millis" is the
 // plain sequential loop for reference.  Results are asserted bit-identical
 // to the sequential counterparts before any timing is reported.
+//
+// Streaming rows ("stream" mode) additionally report time-to-first-result:
+// the wall-clock gap between calling solve_many_stream and popping the
+// first completion-order event, versus the full-batch join.  The
+// "solve54_overlap" rows time solve54 with the step-1/round-1 overlap on
+// vs. off (identical results by construction — the flag only moves
+// wall-clock time).
 
 #include <cstdlib>
 #include <functional>
+#include <future>
 #include <iostream>
 
 #include "algo/portfolio.hpp"
+#include "approx/solve54.hpp"
 #include "bench_common.hpp"
+#include "runtime/channel.hpp"
 #include "runtime/parallel.hpp"
 
 namespace {
@@ -127,6 +137,97 @@ int main() {
           .field("threads", threads)
           .field("hardware_threads", hardware)
           .field("millis", millis)
+          .field("speedup", speedup)
+          .print(std::cout);
+    }
+
+    // Mode 3: the same batch through the streaming pipeline.  Rows report
+    // the time until the first completion-order event next to the full
+    // join; the streamed final vector is asserted identical to the
+    // sequential loop first.
+    for (const std::size_t threads : thread_counts) {
+      runtime::ThreadPool pool(threads);
+      {
+        runtime::Channel<runtime::BatchEvent> check;
+        if (runtime::solve_many_stream(pool, batch, check) != sequential) {
+          std::cerr << "determinism violation (solve_many_stream, "
+                    << family.name << ", threads=" << threads << ")\n";
+          return EXIT_FAILURE;
+        }
+      }
+      double first_millis = 0;
+      double total_millis = 0;
+      for (int r = 0; r < kRepeats; ++r) {
+        runtime::Channel<runtime::BatchEvent> sink;
+        Stopwatch watch;
+        auto join = std::async(std::launch::async, [&]() {
+          return runtime::solve_many_stream(pool, batch, sink);
+        });
+        if (sink.pop()) first_millis += watch.millis();
+        while (sink.pop()) {
+        }
+        (void)join.get();
+        total_millis += watch.millis();
+      }
+      first_millis /= kRepeats;
+      total_millis /= kRepeats;
+      table.begin_row()
+          .cell("stream")
+          .cell(family.name)
+          .cell(threads)
+          .cell(total_millis)
+          .cell(total_millis > 0 ? first_millis / total_millis : 0.0);
+      bench::JsonRow()
+          .field("bench", "parallel_scaling")
+          .field("mode", "stream")
+          .field("family", family.name)
+          .field("n", kN / 2)
+          .field("batch", kBatch)
+          .field("threads", threads)
+          .field("hardware_threads", hardware)
+          .field("millis_first", first_millis)
+          .field("millis_total", total_millis)
+          .field("first_fraction",
+                 total_millis > 0 ? first_millis / total_millis : 0.0)
+          .print(std::cout);
+    }
+
+    // Mode 4: solve54 with the step-1 bounds/witness tasks overlapped with
+    // the round-1 floor probe, against the strictly-sequential schedule.
+    {
+      approx::Approx54Params off;
+      off.overlap_step1 = false;
+      approx::Approx54Params on;
+      on.overlap_step1 = true;
+      const approx::Approx54Result result_off = approx::solve54(instance, off);
+      const approx::Approx54Result result_on = approx::solve54(instance, on);
+      if (result_on.packing != result_off.packing ||
+          result_on.peak != result_off.peak) {
+        std::cerr << "determinism violation (solve54 overlap, " << family.name
+                  << ")\n";
+        return EXIT_FAILURE;
+      }
+      const double off_millis = time_millis(
+          [&]() { (void)approx::solve54(instance, off); });
+      const double on_millis = time_millis(
+          [&]() { (void)approx::solve54(instance, on); });
+      const double speedup = on_millis > 0 ? off_millis / on_millis : 0.0;
+      table.begin_row()
+          .cell("solve54_overlap")
+          .cell(family.name)
+          .cell(2)
+          .cell(on_millis)
+          .cell(speedup);
+      bench::JsonRow()
+          .field("bench", "parallel_scaling")
+          .field("mode", "solve54_overlap")
+          .field("family", family.name)
+          .field("n", kN)
+          .field("hardware_threads", hardware)
+          .field("rounds", result_on.report.rounds)
+          .field("attempts", result_on.report.attempts)
+          .field("millis_overlap_off", off_millis)
+          .field("millis_overlap_on", on_millis)
           .field("speedup", speedup)
           .print(std::cout);
     }

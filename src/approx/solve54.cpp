@@ -202,10 +202,42 @@ Approx54Result solve54(const Instance& instance, const Approx54Params& params) {
   Approx54Result result;
   Approx54Report& report = result.report;
   report.probe_parallelism = params.probe_parallelism;
+  report.overlapped = params.overlap_step1;
 
-  // Step 1: bounds.  The witness doubles as the fallback packing.
-  report.lower_bound = combined_lower_bound(instance);
-  Packing witness = algo::best_of_portfolio(instance, nullptr, params.backend);
+  const int k_max = params.probe_parallelism;
+  std::optional<runtime::ThreadPool> pool;  // spawned for overlap/wide rounds
+
+  // Step 1: bounds.  The witness doubles as the fallback packing.  With
+  // overlap_step1 the lower bound and the witness portfolio run as one pool
+  // task each while this thread probes the optimistic guess H' = lower
+  // bound (the bound task is O(n), so it joins almost immediately and the
+  // probe overlaps the expensive witness portfolio).  Both tasks are joined
+  // before any round-2 guess is chosen.
+  // Round 1 is always the optimistic floor probe H' = lower bound; the
+  // overlap flag only decides whether the step-1 tasks run concurrently
+  // with it, so on/off results are bit-identical (same probe grid).
+  Packing witness;
+  std::optional<AttemptOutcome> speculative;
+  Height speculative_guess = 0;
+  if (params.overlap_step1) {
+    // k_max workers (>= 1) suffice: the bound task is O(n) and finishes
+    // before the witness needs a second worker even on a 1-thread pool.
+    pool.emplace(static_cast<std::size_t>(k_max));
+    std::future<Height> bound_task =
+        pool->submit([&]() { return combined_lower_bound(instance); });
+    std::future<Packing> witness_task = pool->submit([&]() {
+      return algo::best_of_portfolio(instance, nullptr, params.backend);
+    });
+    report.lower_bound = bound_task.get();
+    speculative_guess = std::max<Height>(1, report.lower_bound);
+    speculative = attempt(instance, speculative_guess, params);
+    witness = witness_task.get();
+  } else {
+    report.lower_bound = combined_lower_bound(instance);
+    witness = algo::best_of_portfolio(instance, nullptr, params.backend);
+    speculative_guess = std::max<Height>(1, report.lower_bound);
+    speculative = attempt(instance, speculative_guess, params);
+  }
   const Height witness_peak = peak_height(instance, witness);
   report.upper_bound = witness_peak;
 
@@ -225,8 +257,29 @@ Approx54Result solve54(const Instance& instance, const Approx54Params& params) {
   Height lo = report.lower_bound;
   Height hi = witness_peak;
   std::optional<AttemptOutcome> best_outcome;
-  const int k_max = params.probe_parallelism;
-  std::optional<runtime::ThreadPool> pool;  // spawned at the first wide round
+  if (speculative) {
+    // The overlapped probe is round 1.  Its guess is the floor of the
+    // interval (lower bound <= witness peak always), so the usual
+    // transitions apply: success ends the search at the lower bound,
+    // failure raises the floor past it.
+    ++report.rounds;
+    ++report.attempts;
+    AttemptOutcome& outcome = *speculative;
+    best_pipeline_peak = outcome.peak;
+    have_pipeline = true;
+    if (outcome.peak < best_peak) {
+      best_peak = outcome.peak;
+      best_packing = outcome.packing;
+    }
+    if (outcome.within_budget) {
+      report.best_guess = speculative_guess;
+      hi = speculative_guess - 1;
+      best_outcome = std::move(*speculative);
+    } else {
+      lo = speculative_guess + 1;
+    }
+    speculative.reset();
+  }
   while (lo <= hi) {
     ++report.rounds;
     const Height span = hi - lo;

@@ -26,6 +26,15 @@ struct Approx54Params {
   /// the search from ~log2 to ~log(k+1) rounds.  1 = today's sequential
   /// bisection, probe-for-probe identical.  Must be >= 1.
   int probe_parallelism = 1;
+  /// Overlap step 1 with round 1: the lower bound and the witness portfolio
+  /// run as pool tasks while the caller's thread probes the optimistic guess
+  /// H' = lower bound; both tasks are joined before the round-2 guess is
+  /// chosen.  The probe grid (hence the result) is a deterministic function
+  /// of the instance either way — the flag only moves wall-clock time, and
+  /// off reproduces the strictly-sequential step-1-then-step-2 schedule.
+  /// On costs one pool spawn/join per call (k threads); callers looping
+  /// over tiny instances, where step 1 is microseconds, should turn it off.
+  bool overlap_step1 = true;
 };
 
 /// Diagnostics of one run — the quantities experiments E7/E9/E11 report.
@@ -45,6 +54,7 @@ struct Approx54Report {
   std::size_t attempts = 0;      ///< binary-search probes (all rounds)
   std::size_t rounds = 0;        ///< binary-search rounds (== attempts at k=1)
   int probe_parallelism = 1;     ///< the k the search ran with
+  bool overlapped = false;       ///< step 1 overlapped with round 1
 };
 
 struct Approx54Result {
@@ -56,7 +66,9 @@ struct Approx54Result {
 /// The (5/4+eps)-approximation for DSP (Theorem 5), in the constructive
 /// realization documented in DESIGN.md (substitution 4):
 ///
-///   step 1  lower/upper bounds (combined LB; baseline-portfolio witness)
+///   step 1  lower/upper bounds (combined LB; baseline-portfolio witness);
+///           with overlap_step1 both run as pool tasks while round 1
+///           probes H' = lower bound on the calling thread
 ///   step 2  binary search over the height guess H'
 ///   step 3  Lemma-2 parameter selection + Fig.-5 classification +
 ///           Lemma-3 height rounding

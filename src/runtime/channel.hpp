@@ -1,0 +1,145 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace dsp::runtime {
+
+/// Multi-producer single-consumer channel behind the streaming entry points
+/// (DESIGN.md, "The streaming pipeline").  Producers are pool workers that
+/// push completion-order events; the consumer is whoever wants progress
+/// before the deterministic reduction finishes (a monitor thread, a
+/// progress bar, a test).
+///
+/// Semantics:
+///  * `push` / `push_exception` enqueue a slot and wake the consumer; both
+///    return false (and drop the slot) once the channel is closed, so
+///    producers racing `close` never throw or block.
+///  * `close` is idempotent and marks the end of the stream.  A closed
+///    channel still drains: `pop` keeps returning buffered slots and only
+///    then reports end-of-stream as nullopt.
+///  * `pop` blocks until a slot arrives or the channel is closed and empty.
+///    An exception slot is rethrown at the consumer, in queue order — this
+///    is how a streaming producer reports mid-stream failure without
+///    waiting for the final reduction.
+///
+/// The channel never blocks producers (unbounded buffer): the streaming
+/// runtime produces at most one event per task, so the buffer is bounded by
+/// the batch size anyway and a slow consumer must not stall solve workers.
+template <typename T>
+class Channel {
+ public:
+  Channel() = default;
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Enqueues a value; returns false iff the channel was already closed
+  /// (the value is dropped).
+  bool push(T value) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return false;
+      queue_.push_back(Slot{std::move(value), nullptr});
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Enqueues an exception slot that `pop` rethrows in queue order; returns
+  /// false iff the channel was already closed (the slot is dropped).
+  bool push_exception(std::exception_ptr error) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return false;
+      queue_.push_back(Slot{std::nullopt, std::move(error)});
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Marks the end of the stream (idempotent).  Buffered slots stay
+  /// poppable; once drained, `pop` returns nullopt.
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  /// Blocks until a slot is available or the channel is closed and drained.
+  /// Returns the next value, rethrows the next exception slot, or returns
+  /// nullopt at end-of-stream.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [this]() { return closed_ || !queue_.empty(); });
+    return take(lock);
+  }
+
+  /// Non-blocking pop: nullopt when no slot is buffered (whether or not the
+  /// stream has closed — poll `closed()` to distinguish).
+  std::optional<T> try_pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (queue_.empty()) return std::nullopt;
+    return take(lock);
+  }
+
+  /// True once `close` was called.  A true result does not mean drained:
+  /// buffered slots may still be pending.
+  [[nodiscard]] bool closed() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  /// Buffered (not yet popped) slot count.
+  [[nodiscard]] std::size_t pending() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
+ private:
+  struct Slot {
+    std::optional<T> value;
+    std::exception_ptr error;
+  };
+
+  /// Pops the front slot with `lock` held; unlocks before rethrowing so a
+  /// throwing consumer never holds the channel mutex.
+  std::optional<T> take(std::unique_lock<std::mutex>& lock) {
+    if (queue_.empty()) return std::nullopt;
+    Slot slot = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    if (slot.error) std::rethrow_exception(slot.error);
+    return std::move(slot.value);
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<Slot> queue_;
+  bool closed_ = false;
+};
+
+/// Closes a channel at scope exit (close is idempotent; a null channel is a
+/// no-op), making close-on-every-path structural for streaming producers —
+/// an early return or throw can never leave a consumer blocked.
+template <typename T>
+class ChannelCloser {
+ public:
+  explicit ChannelCloser(Channel<T>* channel) : channel_(channel) {}
+  ~ChannelCloser() {
+    if (channel_) channel_->close();
+  }
+  ChannelCloser(const ChannelCloser&) = delete;
+  ChannelCloser& operator=(const ChannelCloser&) = delete;
+
+ private:
+  Channel<T>* channel_;
+};
+
+}  // namespace dsp::runtime

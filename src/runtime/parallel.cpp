@@ -16,12 +16,25 @@ std::size_t own_pool_size(std::size_t requested, std::size_t tasks) {
   return std::max<std::size_t>(1, std::min(requested, tasks));
 }
 
+/// One sequential portfolio solve — the unit of work of solve_many and
+/// solve_many_stream; the event payload is exactly this result.
+BatchResult solve_one(const Instance& instance, ProfileBackendKind backend,
+                      std::atomic<Height>* live_peak) {
+  BatchResult result;
+  result.packing = algo::best_of_portfolio(instance, &result.winner, backend);
+  result.peak = peak_height(instance, result.packing);
+  if (live_peak) atomic_fetch_min(*live_peak, result.peak);
+  return result;
+}
+
 }  // namespace
 
 Packing parallel_best_of_portfolio(ThreadPool& pool, const Instance& instance,
                                    std::string* winner,
                                    ProfileBackendKind backend,
-                                   std::atomic<Height>* live_peak) {
+                                   std::atomic<Height>* live_peak,
+                                   Channel<PortfolioEvent>* events) {
+  const ChannelCloser<PortfolioEvent> closer(events);
   DSP_REQUIRE(instance.size() > 0,
               "parallel_best_of_portfolio on empty instance");
   const std::vector<algo::NamedAlgorithm> portfolio =
@@ -33,12 +46,23 @@ Packing parallel_best_of_portfolio(ThreadPool& pool, const Instance& instance,
   };
   std::vector<Candidate> candidates = parallel_map(
       pool, portfolio,
-      [&](const algo::NamedAlgorithm& algorithm, std::size_t) {
-        Candidate candidate;
-        candidate.packing = algorithm.run(instance);
-        candidate.peak = peak_height(instance, candidate.packing);
-        if (live_peak) atomic_fetch_min(*live_peak, candidate.peak);
-        return candidate;
+      [&](const algo::NamedAlgorithm& algorithm, std::size_t index) {
+        try {
+          Candidate candidate;
+          candidate.packing = algorithm.run(instance);
+          candidate.peak = peak_height(instance, candidate.packing);
+          if (live_peak) atomic_fetch_min(*live_peak, candidate.peak);
+          if (events) {
+            events->push(
+                PortfolioEvent{index, algorithm.name, candidate.peak});
+          }
+          return candidate;
+        } catch (...) {
+          // Fail fast on the stream, like solve_many_stream: a live
+          // consumer must not mistake a failed run for a clean finish.
+          if (events) events->push_exception(std::current_exception());
+          throw;
+        }
       });
 
   // Deterministic reduction: leftmost strict minimum over portfolio indices,
@@ -54,10 +78,12 @@ Packing parallel_best_of_portfolio(ThreadPool& pool, const Instance& instance,
 Packing parallel_best_of_portfolio(const Instance& instance,
                                    std::string* winner,
                                    const ParallelOptions& options) {
+  // Sized by the member count alone — backend-independent, so the sizing
+  // no longer routes through the default-backend portfolio accessor.
   ThreadPool pool(
-      own_pool_size(options.threads, algo::baseline_portfolio().size()));
+      own_pool_size(options.threads, algo::baseline_portfolio_size()));
   return parallel_best_of_portfolio(pool, instance, winner, options.backend,
-                                    options.live_peak);
+                                    options.live_peak, options.events);
 }
 
 std::vector<BatchResult> solve_many(ThreadPool& pool,
@@ -66,12 +92,7 @@ std::vector<BatchResult> solve_many(ThreadPool& pool,
                                     std::atomic<Height>* live_peak) {
   return parallel_map(pool, instances,
                       [&](const Instance& instance, std::size_t) {
-                        BatchResult result;
-                        result.packing = algo::best_of_portfolio(
-                            instance, &result.winner, backend);
-                        result.peak = peak_height(instance, result.packing);
-                        if (live_peak) atomic_fetch_min(*live_peak, result.peak);
-                        return result;
+                        return solve_one(instance, backend, live_peak);
                       });
 }
 
@@ -80,6 +101,36 @@ std::vector<BatchResult> solve_many(const std::vector<Instance>& instances,
   if (instances.empty()) return {};
   ThreadPool pool(own_pool_size(options.threads, instances.size()));
   return solve_many(pool, instances, options.backend, options.live_peak);
+}
+
+std::vector<BatchResult> solve_many_stream(
+    ThreadPool& pool, const std::vector<Instance>& instances,
+    Channel<BatchEvent>& sink, ProfileBackendKind backend,
+    std::atomic<Height>* live_peak) {
+  const ChannelCloser<BatchEvent> closer(&sink);
+  return parallel_map(
+      pool, instances, [&](const Instance& instance, std::size_t index) {
+        try {
+          BatchResult result = solve_one(instance, backend, live_peak);
+          sink.push(BatchEvent{index, result});
+          return result;
+        } catch (...) {
+          // Fail fast on the stream; the future carries the same error for
+          // the deterministic input-order rethrow by parallel_map.
+          sink.push_exception(std::current_exception());
+          throw;
+        }
+      });
+}
+
+std::vector<BatchResult> solve_many_stream(
+    const std::vector<Instance>& instances, Channel<BatchEvent>& sink,
+    const ParallelOptions& options) {
+  const ChannelCloser<BatchEvent> closer(&sink);  // empty batch: close too
+  if (instances.empty()) return {};
+  ThreadPool pool(own_pool_size(options.threads, instances.size()));
+  return solve_many_stream(pool, instances, sink, options.backend,
+                           options.live_peak);
 }
 
 }  // namespace dsp::runtime

@@ -11,37 +11,85 @@
 
 #include "core/packing.hpp"
 #include "core/profile.hpp"
+#include "runtime/channel.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace dsp::runtime {
 
 /// Parallel entry points over the baseline portfolio and batches of
-/// instances (DESIGN.md, "The parallel runtime").
+/// instances (DESIGN.md, "The parallel runtime" and "The streaming
+/// pipeline").
 ///
 /// Determinism contract: every function here returns results bit-identical
 /// to its sequential counterpart, for any thread count.  Work is fanned out
 /// on a ThreadPool, but reductions run over completed results in a fixed
-/// order (portfolio index, instance index) — never completion order.
+/// order (portfolio index, instance index) — never completion order.  The
+/// streaming variants additionally publish completion-order events through
+/// a Channel; the event *order* is scheduling-dependent by design, the
+/// event *set* and the returned vector are not.
+
+/// One completion-order event from a streaming portfolio run: member
+/// `algorithm` (portfolio index) finished with the given peak.
+struct PortfolioEvent {
+  std::size_t algorithm = 0;
+  std::string name;
+  Height peak = 0;
+
+  [[nodiscard]] bool operator==(const PortfolioEvent&) const = default;
+};
+
+/// One batch answer: the portfolio-best packing of one instance.
+struct BatchResult {
+  Packing packing;
+  Height peak = 0;
+  std::string winner;
+
+  [[nodiscard]] bool operator==(const BatchResult&) const = default;
+};
+
+/// One completion-order event from a streaming batch solve: instance
+/// `index` resolved to `result` (exactly the BatchResult the returned
+/// vector will hold at that index).
+struct BatchEvent {
+  std::size_t index = 0;
+  BatchResult result;
+
+  [[nodiscard]] bool operator==(const BatchEvent&) const = default;
+};
 
 struct ParallelOptions {
   /// Worker threads; 0 = ThreadPool::hardware_threads().
   std::size_t threads = 0;
   /// Profile backend every algorithm runs on (kAuto resolves per instance).
   ProfileBackendKind backend = ProfileBackendKind::kAuto;
-  /// Optional early-reporting channel: workers atomically lower this to the
-  /// best peak seen so far, so a monitor thread can stream progress before
+  /// Optional early-reporting slot: workers atomically lower this to the
+  /// best peak seen so far, so a monitor thread can poll progress before
   /// the deterministic reduction finishes.  Initialize to kPeakUnknown.
+  /// Contract: writers publish with release ordering (atomic_fetch_min), so
+  /// a monitor that loads with std::memory_order_acquire and observes a
+  /// peak also observes everything the finishing worker wrote before
+  /// reporting it.  For structured per-completion events (which peak, which
+  /// member/instance), use `events` / solve_many_stream instead.
   std::atomic<Height>* live_peak = nullptr;
+  /// Optional structured event stream for parallel_best_of_portfolio: one
+  /// PortfolioEvent per member in completion order; closed when the run
+  /// finishes (also on error paths).
+  Channel<PortfolioEvent>* events = nullptr;
 };
 
 /// Sentinel for an untouched `live_peak` slot.
 inline constexpr Height kPeakUnknown = std::numeric_limits<Height>::max();
 
 /// Lock-free monotone minimum, used by workers for early peak reporting.
+/// The successful exchange uses release ordering so the new minimum
+/// *publishes* the worker's preceding writes; pair it with an acquire load
+/// on the monitor side (see ParallelOptions::live_peak).  The failure load
+/// stays relaxed — a failed CAS publishes nothing.
 inline void atomic_fetch_min(std::atomic<Height>& target, Height value) {
   Height current = target.load(std::memory_order_relaxed);
   while (value < current &&
          !target.compare_exchange_weak(current, value,
+                                       std::memory_order_release,
                                        std::memory_order_relaxed)) {
   }
 }
@@ -56,9 +104,23 @@ auto parallel_map(ThreadPool& pool, const std::vector<T>& items, F&& fn)
   using R = std::invoke_result_t<F&, const T&, std::size_t>;
   std::vector<std::future<R>> futures;
   futures.reserve(items.size());
-  for (std::size_t i = 0; i < items.size(); ++i) {
-    futures.push_back(
-        pool.submit([&fn, &item = items[i], i]() { return fn(item, i); }));
+  try {
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      futures.push_back(
+          pool.submit([&fn, &item = items[i], i]() { return fn(item, i); }));
+    }
+  } catch (...) {
+    // submit can throw (stopping pool, allocation failure).  The tasks
+    // already enqueued reference `fn` and `items`, so they must finish
+    // before this frame unwinds; their own errors are subsumed by the
+    // submit failure.
+    for (std::future<R>& future : futures) {
+      try {
+        (void)future.get();
+      } catch (...) {
+      }
+    }
+    throw;
   }
   std::vector<R> results;
   results.reserve(items.size());
@@ -77,26 +139,23 @@ auto parallel_map(ThreadPool& pool, const std::vector<T>& items, F&& fn)
 /// Runs each portfolio member on its own worker and returns the packing the
 /// sequential `algo::best_of_portfolio` would return (deterministic
 /// tie-break by portfolio index).  `winner` receives the winning
-/// algorithm's name if non-null.
+/// algorithm's name if non-null.  If `events` is non-null, every member
+/// completion pushes one PortfolioEvent (completion order), a throwing
+/// member pushes an exception slot (so a live consumer fails fast instead
+/// of seeing a clean end-of-stream), and the channel is closed before the
+/// function returns or throws — on every path, precondition failures
+/// included.
 [[nodiscard]] Packing parallel_best_of_portfolio(
     ThreadPool& pool, const Instance& instance, std::string* winner = nullptr,
     ProfileBackendKind backend = ProfileBackendKind::kAuto,
-    std::atomic<Height>* live_peak = nullptr);
+    std::atomic<Height>* live_peak = nullptr,
+    Channel<PortfolioEvent>* events = nullptr);
 
 /// Convenience overload owning its pool (sized by `options.threads`, capped
 /// at the portfolio size).
 [[nodiscard]] Packing parallel_best_of_portfolio(
     const Instance& instance, std::string* winner = nullptr,
     const ParallelOptions& options = {});
-
-/// One batch answer: the portfolio-best packing of one instance.
-struct BatchResult {
-  Packing packing;
-  Height peak = 0;
-  std::string winner;
-
-  [[nodiscard]] bool operator==(const BatchResult&) const = default;
-};
 
 /// Shards a batch of instances across the pool, one portfolio solve per
 /// worker task; results are in instance order and each equals the
@@ -110,5 +169,31 @@ struct BatchResult {
 /// at the batch size).
 [[nodiscard]] std::vector<BatchResult> solve_many(
     const std::vector<Instance>& instances, const ParallelOptions& options = {});
+
+/// Streaming batch solve: like `solve_many`, but every instance completion
+/// pushes a {index, BatchResult} event into `sink` the moment the worker
+/// finishes, so a consumer sees answers in completion order long before the
+/// slowest instance resolves.  The returned vector is still instance-order
+/// and bit-identical to the sequential loop (the events are a *projection*
+/// of it, not a second computation).
+///
+/// Error semantics: a throwing portfolio member surfaces twice — once as an
+/// exception slot in the stream (completion order, so a live consumer fails
+/// fast) and once from this function, which awaits all tasks and rethrows
+/// the first error in *input* order (the parallel_map rule).  `sink` is
+/// closed on every path, including the empty batch and the throwing one, so
+/// a blocked consumer always wakes up.
+[[nodiscard]] std::vector<BatchResult> solve_many_stream(
+    ThreadPool& pool, const std::vector<Instance>& instances,
+    Channel<BatchEvent>& sink,
+    ProfileBackendKind backend = ProfileBackendKind::kAuto,
+    std::atomic<Height>* live_peak = nullptr);
+
+/// Convenience overload owning its pool (sized by `options.threads`, capped
+/// at the batch size).  `options.events` is ignored (portfolio-level
+/// events belong to parallel_best_of_portfolio).
+[[nodiscard]] std::vector<BatchResult> solve_many_stream(
+    const std::vector<Instance>& instances, Channel<BatchEvent>& sink,
+    const ParallelOptions& options = {});
 
 }  // namespace dsp::runtime

@@ -1,6 +1,7 @@
 #include "runtime/thread_pool.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 namespace dsp::runtime {
 
@@ -23,6 +24,10 @@ ThreadPool::~ThreadPool() {
   }
   work_available_.notify_all();
   for (std::thread& worker : workers_) worker.join();
+  // Invariant: submit refuses once stopping_ is set and workers drain before
+  // exiting, so no enqueued task (hence no outstanding future) can be left
+  // behind after the joins.
+  assert(queue_.empty());
 }
 
 void ThreadPool::worker_loop() {

@@ -12,6 +12,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/check.hpp"
+
 namespace dsp::runtime {
 
 /// Fixed-size thread pool behind every parallel entry point of the runtime
@@ -41,6 +43,13 @@ class ThreadPool {
   /// Enqueues a task and returns the future of its result.  The callable
   /// runs exactly once on some worker; its exception (if any) surfaces at
   /// future.get().
+  ///
+  /// Submitting to a pool whose destructor has started throws InvalidInput
+  /// instead of enqueueing: workers may already have drained the queue and
+  /// exited, so a late task's future could otherwise never become ready and
+  /// its waiter would deadlock.  (Calling submit concurrently with the
+  /// destructor is still caller misuse — the throw turns the silent-hang
+  /// interleavings into a loud error.)
   template <typename F>
   [[nodiscard]] std::future<std::invoke_result_t<std::decay_t<F>>> submit(
       F&& task) {
@@ -50,6 +59,9 @@ class ThreadPool {
     std::future<R> result = packaged->get_future();
     {
       const std::lock_guard<std::mutex> lock(mutex_);
+      DSP_REQUIRE(!stopping_,
+                  "ThreadPool::submit on a stopping pool: every task must be "
+                  "submitted before the pool's destructor begins");
       queue_.emplace_back([packaged]() { (*packaged)(); });
     }
     work_available_.notify_one();
