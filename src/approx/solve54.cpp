@@ -23,6 +23,8 @@ struct AttemptOutcome {
   Classification cls;
   bool lp_used = false;
   std::size_t lp_configurations = 0;
+  std::size_t lp_pricing_rounds = 0;
+  bool lp_capped = false;
   std::size_t lp_overflow = 0;
 };
 
@@ -86,8 +88,12 @@ std::vector<GapBox> gap_boxes_of_profile(const ProfileBackend& occupancy,
 }
 
 /// One attempt at the height guess h_guess (steps 3-6 of the algorithm).
+/// `pricing_pool` (may be null) is shared across concurrent attempts; the
+/// Lemma-10 stage only uses it for fixed-order-reduced pricing, so the
+/// outcome is independent of the pool and its size.
 AttemptOutcome attempt(const Instance& instance, Height h_guess,
-                       const Approx54Params& params) {
+                       const Approx54Params& params,
+                       runtime::ThreadPool* pricing_pool) {
   AttemptOutcome outcome;
   outcome.cls =
       select_parameters(instance, h_guess, params.epsilon, params.ladder_length);
@@ -138,10 +144,17 @@ AttemptOutcome attempt(const Instance& instance, Height h_guess,
     }
     const std::vector<GapBox> gaps = gap_boxes_of_profile(
         occupancy, budget, min_vertical, params.max_gap_boxes);
-    const VerticalFillResult fill = fill_vertical_items(
-        instance, vertical, rounding, gaps, params.max_configs);
+    VerticalFillParams fill_params;
+    fill_params.engine = params.lp_engine;
+    fill_params.max_configs = params.max_configs;
+    fill_params.max_pricing_rounds = params.max_pricing_rounds;
+    fill_params.pricing_pool = pricing_pool;
+    const VerticalFillResult fill =
+        fill_vertical_items(instance, vertical, rounding, gaps, fill_params);
     outcome.lp_used = fill.lp_solved;
     outcome.lp_configurations = fill.configurations;
+    outcome.lp_pricing_rounds = fill.pricing_rounds;
+    outcome.lp_capped = fill.capped;
     outcome.lp_overflow = fill.overflow.size();
     for (std::size_t k = 0; k < vertical.size(); ++k) {
       if (fill.start[k] >= 0) place(vertical[k], fill.start[k]);
@@ -199,13 +212,27 @@ Approx54Result solve54(const Instance& instance, const Approx54Params& params) {
   DSP_REQUIRE(params.probe_parallelism >= 1,
               "probe_parallelism must be >= 1, got "
                   << params.probe_parallelism);
+  DSP_REQUIRE(params.lp_pricing_threads >= 1,
+              "lp_pricing_threads must be >= 1, got "
+                  << params.lp_pricing_threads);
   Approx54Result result;
   Approx54Report& report = result.report;
   report.probe_parallelism = params.probe_parallelism;
   report.overlapped = params.overlap_step1;
+  report.lp_engine = params.lp_engine;
 
   const int k_max = params.probe_parallelism;
   std::optional<runtime::ThreadPool> pool;  // spawned for overlap/wide rounds
+  // One pricing pool shared by every attempt (concurrent attempts included:
+  // pricing tasks are pure knapsacks that never submit to a pool, so no
+  // nesting deadlock is possible).  The Lemma-10 stage reduces priced
+  // columns in fixed order, so pool size never changes any packing.
+  std::optional<runtime::ThreadPool> pricing_pool;
+  if (params.lp_pricing_threads > 1 &&
+      params.lp_engine == ConfigLpEngine::kColumnGeneration) {
+    pricing_pool.emplace(static_cast<std::size_t>(params.lp_pricing_threads));
+  }
+  runtime::ThreadPool* const pricing = pricing_pool ? &*pricing_pool : nullptr;
 
   // Step 1: bounds.  The witness doubles as the fallback packing.  With
   // overlap_step1 the lower bound and the witness portfolio run as one pool
@@ -230,13 +257,13 @@ Approx54Result solve54(const Instance& instance, const Approx54Params& params) {
     });
     report.lower_bound = bound_task.get();
     speculative_guess = std::max<Height>(1, report.lower_bound);
-    speculative = attempt(instance, speculative_guess, params);
+    speculative = attempt(instance, speculative_guess, params, pricing);
     witness = witness_task.get();
   } else {
     report.lower_bound = combined_lower_bound(instance);
     witness = algo::best_of_portfolio(instance, nullptr, params.backend);
     speculative_guess = std::max<Height>(1, report.lower_bound);
-    speculative = attempt(instance, speculative_guess, params);
+    speculative = attempt(instance, speculative_guess, params, pricing);
   }
   const Height witness_peak = peak_height(instance, witness);
   report.upper_bound = witness_peak;
@@ -297,11 +324,11 @@ Approx54Result solve54(const Instance& instance, const Approx54Params& params) {
     if (pool && guesses.size() > 1) {
       outcomes = runtime::parallel_map(
           *pool, guesses,
-          [&](Height guess, std::size_t) { return attempt(instance, guess, params); });
+          [&](Height guess, std::size_t) { return attempt(instance, guess, params, pricing); });
     } else {
       outcomes.reserve(guesses.size());
       for (const Height guess : guesses) {
-        outcomes.push_back(attempt(instance, guess, params));
+        outcomes.push_back(attempt(instance, guess, params, pricing));
       }
     }
     report.attempts += guesses.size();
@@ -343,6 +370,8 @@ Approx54Result solve54(const Instance& instance, const Approx54Params& params) {
                          cls.area_of(Category::kMediumVertical, instance);
     report.lp_used = best_outcome->lp_used;
     report.lp_configurations = best_outcome->lp_configurations;
+    report.lp_pricing_rounds = best_outcome->lp_pricing_rounds;
+    report.lp_capped = best_outcome->lp_capped;
     report.lp_overflow = best_outcome->lp_overflow;
   }
   report.pipeline_peak = have_pipeline ? best_pipeline_peak : witness_peak;

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "approx/classify.hpp"
+#include "approx/config_lp.hpp"
 #include "core/packing.hpp"
 #include "core/profile.hpp"
 
@@ -14,8 +15,22 @@ struct Approx54Params {
   Fraction epsilon = Fraction(1, 4);
   /// Lemma-2 ladder length (see classify.hpp).
   int ladder_length = 6;
-  /// Cap on configuration enumeration in the Lemma-10 LP.
+  /// Engine behind the Lemma-10 configuration LP.  Column generation is
+  /// exact (no enumeration cliff) and is the default; dense enumeration is
+  /// the reference oracle.
+  ConfigLpEngine lp_engine = ConfigLpEngine::kColumnGeneration;
+  /// Dense: enumeration cap.  Column generation: master-column safety valve
+  /// (hitting it sets the `lp_capped` diagnostic instead of silently
+  /// dropping configurations).
   std::size_t max_configs = 4096;
+  /// Column generation: safety valve on generate -> re-solve rounds (the
+  /// paired valve to max_configs; also sets `lp_capped` when hit).
+  std::size_t max_pricing_rounds = 64;
+  /// Workers pricing the Lemma-10 knapsacks concurrently (one task per
+  /// distinct gap-box capacity); 1 prices on the calling thread.  The
+  /// priced columns are reduced in fixed capacity-then-box order, so the
+  /// packing is bit-identical for every value.  Must be >= 1.
+  int lp_pricing_threads = 1;
   /// Cap on the number of gap boxes handed to the LP (rows stay small).
   std::size_t max_gap_boxes = 48;
   /// Demand-profile implementation every placement step (and the witness
@@ -49,7 +64,11 @@ struct Approx54Report {
   std::size_t count_per_category[7] = {0, 0, 0, 0, 0, 0, 0};
   std::int64_t medium_area = 0;  ///< area of M u Mv at the best guess
   bool lp_used = false;          ///< Lemma-10 LP solved at the best guess
-  std::size_t lp_configurations = 0;
+  /// Engine the Lemma-10 stage ran with (echoes Approx54Params::lp_engine).
+  ConfigLpEngine lp_engine = ConfigLpEngine::kColumnGeneration;
+  std::size_t lp_configurations = 0;  ///< columns generated at the best guess
+  std::size_t lp_pricing_rounds = 0;  ///< CG re-solve rounds (0 for dense)
+  bool lp_capped = false;        ///< enumeration cap / safety valve was hit
   std::size_t lp_overflow = 0;   ///< items through the extra-box path
   std::size_t attempts = 0;      ///< binary-search probes (all rounds)
   std::size_t rounds = 0;        ///< binary-search rounds (== attempts at k=1)

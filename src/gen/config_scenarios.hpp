@@ -1,0 +1,72 @@
+#pragma once
+
+// Shared random-scenario generator for the Lemma-10 configuration-LP
+// surfaces (tests/test_config_lp.cpp and bench/bench_config_lp.cpp): the
+// bench's regression gate and the randomized property tests must draw from
+// the same distribution, so the generator lives once, here.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "approx/config_lp.hpp"
+#include "approx/rounding.hpp"
+#include "core/instance.hpp"
+#include "util/prng.hpp"
+
+namespace dsp::gen {
+
+/// One ready-to-solve Lemma-10 input: vertical items (all instance
+/// indices), their identity rounding, and a gap-box set able to hold them.
+struct ConfigLpScenario {
+  Instance instance;
+  std::vector<std::size_t> indices;
+  approx::RoundedHeights rounding;
+  std::vector<approx::GapBox> boxes;
+};
+
+struct ConfigLpScenarioParams {
+  int classes = 3;      ///< number of height classes
+  int width_scale = 1;  ///< stretches box widths (the wide-box regime)
+  std::int64_t min_items = 10;
+  std::int64_t max_items = 50;
+  std::int64_t max_class_height = 10;  ///< heights drawn from [3, this]
+  std::int64_t max_box_capacity = 22;  ///< capacities drawn from [10, this]
+};
+
+/// Random vertical items over `params.classes` height classes plus a box
+/// set with about twice the items' total area.
+inline ConfigLpScenario config_lp_scenario(const ConfigLpScenarioParams& params,
+                                           Rng& rng) {
+  std::vector<Height> class_heights;
+  for (int c = 0; c < params.classes; ++c) {
+    class_heights.push_back(rng.uniform(3, params.max_class_height));
+  }
+  std::vector<Item> items;
+  const std::int64_t n = rng.uniform(params.min_items, params.max_items);
+  for (std::int64_t i = 0; i < n; ++i) {
+    items.push_back(Item{rng.uniform(1, 4),
+                         class_heights[static_cast<std::size_t>(
+                             rng.uniform(0, params.classes - 1))]});
+  }
+  std::int64_t item_area = 0;
+  for (const Item& it : items) item_area += it.area();
+  std::vector<approx::GapBox> boxes;
+  Length x = 0;
+  std::int64_t capacity_area = 0;
+  while (capacity_area < 2 * item_area) {
+    approx::GapBox box{x, params.width_scale * rng.uniform(4, 20),
+                       rng.uniform(10, params.max_box_capacity)};
+    capacity_area += static_cast<std::int64_t>(box.width) * box.capacity;
+    x += box.width;
+    boxes.push_back(box);
+  }
+  ConfigLpScenario scenario{Instance(x, items), {}, {}, std::move(boxes)};
+  scenario.indices.resize(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) scenario.indices[i] = i;
+  for (const Item& it : items) scenario.rounding.rounded.push_back(it.height);
+  scenario.rounding.grid.assign(items.size(), 1);
+  return scenario;
+}
+
+}  // namespace dsp::gen

@@ -11,148 +11,305 @@ namespace dsp::lp {
 namespace {
 
 constexpr double kEps = 1e-9;
+/// Residual phase-1 infeasibility above this is a proof of infeasibility
+/// (of the restricted column set, for ColumnLp).
+constexpr double kFeasTol = 1e-6;
+/// Minimum magnitude for the artificial-blocking pivot (see the ratio
+/// test): below this, skipping the block leaks at most kPivotTol of
+/// infeasibility per unit of entering variable, which stays in tolerance.
+constexpr double kPivotTol = 1e-7;
 
-/// Tableau-based primal simplex with Bland's rule on an equality-form LP
-/// whose initial basis is given (artificial or slack columns).
-class Tableau {
- public:
-  Tableau(std::size_t rows, std::size_t cols)
-      : rows_(rows), cols_(cols), t_(rows + 1, std::vector<double>(cols + 1, 0.0)),
-        basis_(rows) {}
+}  // namespace
 
-  std::vector<std::vector<double>>& data() { return t_; }
-  std::vector<std::size_t>& basis() { return basis_; }
+ColumnLp::ColumnLp(std::vector<double> rhs, LpOptions options)
+    : rows_(rhs.size()),
+      options_(options),
+      sign_(rows_, 1.0),
+      t_(rows_ + 1),
+      basis_(rows_),
+      bland_(options.rule == PivotRule::kBland) {
+  for (std::size_t i = 0; i < rows_; ++i) {
+    if (rhs[i] < 0) sign_[i] = -1.0;
+    t_[i].assign(rows_ + 1, 0.0);
+    t_[i][i] = 1.0;  // artificial variable; the block doubles as B^{-1}
+    t_[i].back() = sign_[i] * rhs[i];
+    basis_[i] = i;
+  }
+  t_[rows_].assign(rows_ + 1, 0.0);
+}
 
-  /// Minimizes the objective encoded in the last row.  Returns false when
-  /// unbounded.
-  bool iterate() {
-    for (;;) {
-      // Bland's rule: entering column = lowest index with negative reduced
-      // cost.
-      std::size_t pivot_col = cols_;
-      for (std::size_t j = 0; j < cols_; ++j) {
-        if (t_[rows_][j] < -kEps) {
+std::size_t ColumnLp::add_column(const std::vector<double>& column,
+                                 double cost) {
+  DSP_REQUIRE(column.size() == rows_,
+              "ColumnLp::add_column: column has " << column.size()
+                                                  << " entries, want " << rows_);
+  // Price the new column into the current tableau: B^{-1} (sign-normalized
+  // column), where B^{-1} is the artificial block.  Before the first pivot
+  // that block is exactly the identity, so the bulk-loading path (the dense
+  // solve() wrapper) skips the O(rows^2) multiply.
+  for (std::size_t i = 0; i <= rows_; ++i) {
+    double v = 0.0;
+    if (i < rows_) {
+      if (identity_) {
+        v = sign_[i] * column[i];
+      } else {
+        for (std::size_t k = 0; k < rows_; ++k) {
+          v += t_[i][k] * sign_[k] * column[k];
+        }
+      }
+    }
+    t_[i].insert(t_[i].end() - 1, v);  // objective cell rebuilt at resolve
+  }
+  costs_.push_back(cost);
+  return costs_.size() - 1;
+}
+
+void ColumnLp::rebuild_objective(bool phase1) {
+  std::vector<double>& obj = t_[rows_];
+  for (std::size_t j = 0; j < rows_; ++j) obj[j] = phase1 ? 1.0 : 0.0;
+  for (std::size_t j = 0; j < costs_.size(); ++j) {
+    obj[rows_ + j] = phase1 ? 0.0 : costs_[j];
+  }
+  obj.back() = 0.0;
+  reduce_objective_row();
+}
+
+void ColumnLp::reduce_objective_row() {
+  std::vector<double>& obj = t_[rows_];
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double f = obj[basis_[i]];
+    if (std::abs(f) < kEps) continue;
+    const std::vector<double>& row = t_[i];
+    for (std::size_t j = 0; j < obj.size(); ++j) obj[j] -= f * row[j];
+  }
+}
+
+void ColumnLp::pivot(std::size_t row, std::size_t col, std::size_t* pivots) {
+  const double p = t_[row][col];
+  for (double& v : t_[row]) v /= p;
+  for (std::size_t i = 0; i <= rows_; ++i) {
+    if (i == row) continue;
+    const double f = t_[i][col];
+    if (std::abs(f) < kEps) continue;
+    const std::vector<double>& prow = t_[row];
+    std::vector<double>& irow = t_[i];
+    for (std::size_t j = 0; j < irow.size(); ++j) irow[j] -= f * prow[j];
+  }
+  basis_[row] = col;
+  identity_ = false;
+  ++*pivots;
+}
+
+ColumnLp::IterateOutcome ColumnLp::iterate(bool phase1, std::size_t* pivots) {
+  const std::size_t n = costs_.size();
+  std::size_t stalled = 0;
+  for (;;) {
+    // Entering column: real columns only — artificial columns are excluded
+    // structurally, so they can never re-enter the basis.
+    const std::vector<double>& obj = t_[rows_];
+    std::size_t pivot_col = rows_ + n;
+    if (bland_) {
+      for (std::size_t j = rows_; j < rows_ + n; ++j) {
+        if (obj[j] < -kEps) {
           pivot_col = j;
           break;
         }
       }
-      if (pivot_col == cols_) return true;  // optimal
-      // Ratio test; ties broken by lowest basis index (Bland).
-      std::size_t pivot_row = rows_;
-      double best_ratio = std::numeric_limits<double>::infinity();
-      for (std::size_t i = 0; i < rows_; ++i) {
-        if (t_[i][pivot_col] > kEps) {
-          const double ratio = t_[i][cols_] / t_[i][pivot_col];
-          if (ratio < best_ratio - kEps ||
-              (ratio < best_ratio + kEps &&
-               (pivot_row == rows_ || basis_[i] < basis_[pivot_row]))) {
-            best_ratio = ratio;
-            pivot_row = i;
-          }
+    } else {
+      double most_negative = -kEps;
+      for (std::size_t j = rows_; j < rows_ + n; ++j) {
+        if (obj[j] < most_negative) {
+          most_negative = obj[j];
+          pivot_col = j;
         }
       }
-      if (pivot_row == rows_) return false;  // unbounded
-      pivot(pivot_row, pivot_col);
     }
-  }
-
-  void pivot(std::size_t row, std::size_t col) {
-    const double p = t_[row][col];
-    for (double& v : t_[row]) v /= p;
-    for (std::size_t i = 0; i <= rows_; ++i) {
-      if (i == row) continue;
-      const double f = t_[i][col];
-      if (std::abs(f) < kEps) continue;
-      for (std::size_t j = 0; j <= cols_; ++j) {
-        t_[i][j] -= f * t_[row][j];
+    if (pivot_col == rows_ + n) return IterateOutcome::kOptimal;
+    // Ratio test; ties broken by lowest basis index (Bland-compatible).
+    // A zero-valued basic *artificial* additionally blocks at ratio 0 even
+    // on a negative coefficient: increasing the entering variable would
+    // drive the artificial positive, i.e. silently violate its (redundant
+    // until now) row.  The degenerate pivot kicks the artificial out in
+    // favour of the entering column instead; since artificials never
+    // re-enter, at most rows_ such pivots can ever happen.
+    std::size_t pivot_row = rows_;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < rows_; ++i) {
+      const double coef = t_[i][pivot_col];
+      double ratio;
+      if (coef > kEps) {
+        ratio = t_[i].back() / coef;
+      } else if (coef < -kPivotTol && basis_[i] < rows_ &&
+                 t_[i].back() <= kFeasTol * -coef) {
+        // Accepting this pivot makes the entering variable basic at
+        // rhs / coef, a *negative* value of magnitude rhs / |coef| — the
+        // guard keeps that within kFeasTol, so a sub-tolerance phase-1
+        // residual is never amplified past tolerance (for exact data the
+        // rhs is exactly zero and the pivot is cleanly degenerate).  Rows
+        // failing the guard fall through to the ordinary test; their
+        // artificial then drifts by at most |coef| per unit of entering
+        // variable, which the kPivotTol floor keeps sub-tolerance too.
+        ratio = 0.0;
+      } else {
+        continue;
+      }
+      if (ratio < best_ratio - kEps ||
+          (ratio < best_ratio + kEps &&
+           (pivot_row == rows_ || basis_[i] < basis_[pivot_row]))) {
+        best_ratio = ratio;
+        pivot_row = i;
       }
     }
-    basis_[row] = col;
+    if (pivot_row == rows_) return IterateOutcome::kUnbounded;
+    // Projected-drift guard (phase 2 only; phase 1 may legitimately regrow
+    // artificials): if taking this step would push a zero-valued basic
+    // artificial beyond tolerance — its coefficient was too small for the
+    // blocking rule, but the entering value best_ratio is large — no safe
+    // pivot exists and the solve must fail loudly rather than return an
+    // "optimal" point violating that row.
+    if (!phase1) {
+      for (std::size_t i = 0; i < rows_; ++i) {
+        if (i == pivot_row || basis_[i] >= rows_) continue;
+        const double coef = t_[i][pivot_col];
+        if (coef < -kEps && t_[i].back() <= kFeasTol &&
+            t_[i].back() - coef * best_ratio > kFeasTol) {
+          return IterateOutcome::kNumericalFailure;
+        }
+      }
+    }
+    const double before = t_[rows_].back();
+    pivot(pivot_row, pivot_col, pivots);
+    // Stall detection: a run of degenerate pivots under Dantzig engages
+    // Bland's rule permanently (anti-cycling).
+    if (!bland_) {
+      if (t_[rows_].back() > before + kEps) {
+        stalled = 0;
+      } else if (++stalled >= options_.stall_pivots) {
+        bland_ = true;
+      }
+    }
+  }
+}
+
+std::vector<double> ColumnLp::duals_for(bool phase1) const {
+  // y^T = c_B^T B^{-1}, read off the artificial block, then sign-unnormalized
+  // back to the caller's row orientation.
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const bool artificial = basis_[i] < rows_;
+    const double cost = phase1 ? (artificial ? 1.0 : 0.0)
+                               : (artificial ? 0.0 : costs_[basis_[i] - rows_]);
+    if (std::abs(cost) < kEps) continue;
+    for (std::size_t k = 0; k < rows_; ++k) y[k] += cost * t_[i][k];
+  }
+  for (std::size_t k = 0; k < rows_; ++k) y[k] *= sign_[k];
+  return y;
+}
+
+const LpSolution& ColumnLp::resolve() {
+  solution_ = LpSolution{};
+  farkas_.clear();
+  std::size_t pivots = 0;
+  const auto external_basis = [&] {
+    std::vector<std::size_t> basis(rows_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+      basis[i] = basis_[i] < rows_ ? costs_.size() + basis_[i]
+                                   : basis_[i] - rows_;
+    }
+    return basis;
+  };
+
+  if (!feasible_) {
+    // Phase 1: minimize the artificial sum.  Never unbounded (the objective
+    // is bounded below by zero); a non-optimal outcome is a numerical
+    // failure and is reported as infeasible.
+    rebuild_objective(/*phase1=*/true);
+    const IterateOutcome outcome = iterate(/*phase1=*/true, &pivots);
+    const double infeasibility = -t_[rows_].back();
+    if (outcome != IterateOutcome::kOptimal || infeasibility > kFeasTol) {
+      solution_.status = LpStatus::kInfeasible;
+      solution_.basis = external_basis();
+      solution_.pivots = pivots;
+      // A certificate only exists at a phase-1 *optimum*; after a numerical
+      // failure farkas_ stays empty so callers can tell "proved infeasible"
+      // from "could not solve" (see the header contract).
+      if (outcome == IterateOutcome::kOptimal) {
+        farkas_ = duals_for(/*phase1=*/true);
+      }
+      return solution_;
+    }
+    feasible_ = true;
+    // Drive remaining artificial variables out of the basis when possible;
+    // rows where no real column has a usable entry are redundant (or carry
+    // a sub-tolerance residual) and keep their artificial harmlessly — the
+    // blocking rule in the ratio test protects them from later drift.
+    // Usable means the same guards as that rule: a pivot magnitude of at
+    // least kPivotTol, and a resulting basic value |rhs / coef| within
+    // kFeasTol, so a sub-tolerance phase-1 residual is never amplified.
+    for (std::size_t i = 0; i < rows_; ++i) {
+      if (basis_[i] >= rows_) continue;
+      for (std::size_t j = rows_; j < rows_ + costs_.size(); ++j) {
+        const double coef = std::abs(t_[i][j]);
+        if (coef >= kPivotTol && std::abs(t_[i].back()) <= kFeasTol * coef) {
+          pivot(i, j, &pivots);
+          break;
+        }
+      }
+    }
   }
 
-  std::size_t rows_;
-  std::size_t cols_;
-  std::vector<std::vector<double>> t_;
-  std::vector<std::size_t> basis_;
-};
+  rebuild_objective(/*phase1=*/false);
+  switch (iterate(/*phase1=*/false, &pivots)) {
+    case IterateOutcome::kOptimal:
+      break;
+    case IterateOutcome::kUnbounded:
+      solution_.status = LpStatus::kUnbounded;
+      solution_.basis = external_basis();
+      solution_.pivots = pivots;
+      return solution_;
+    case IterateOutcome::kNumericalFailure:
+      // No safe pivot exists (see iterate's drift guard): report
+      // "could not solve" — infeasible status with an empty certificate —
+      // never an "optimal" point that violates a constraint.  The basis is
+      // still primal feasible, so later resolves (with more columns) may
+      // succeed.
+      solution_.status = LpStatus::kInfeasible;
+      solution_.basis = external_basis();
+      solution_.pivots = pivots;
+      return solution_;
+  }
 
-}  // namespace
+  solution_.status = LpStatus::kOptimal;
+  solution_.x.assign(costs_.size(), 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    if (basis_[i] >= rows_) {
+      solution_.x[basis_[i] - rows_] = std::max(0.0, t_[i].back());
+    }
+  }
+  solution_.objective = 0.0;
+  for (std::size_t j = 0; j < costs_.size(); ++j) {
+    solution_.objective += costs_[j] * solution_.x[j];
+  }
+  solution_.basis = external_basis();
+  solution_.duals = duals_for(/*phase1=*/false);
+  solution_.pivots = pivots;
+  return solution_;
+}
 
-LpSolution solve(const LpProblem& problem) {
+LpSolution solve(const LpProblem& problem, const LpOptions& options) {
   const std::size_t rows = problem.a.size();
   const std::size_t cols = problem.c.size();
   DSP_REQUIRE(problem.b.size() == rows, "LP: |b| != rows");
   for (const auto& row : problem.a) {
     DSP_REQUIRE(row.size() == cols, "LP: ragged constraint matrix");
   }
-
-  // Phase 1: artificial variable per row, minimize their sum.
-  Tableau tab(rows, cols + rows);
-  auto& t = tab.data();
-  for (std::size_t i = 0; i < rows; ++i) {
-    const double sign = problem.b[i] < 0 ? -1.0 : 1.0;
-    for (std::size_t j = 0; j < cols; ++j) t[i][j] = sign * problem.a[i][j];
-    t[i][cols + i] = 1.0;
-    t[i][cols + rows] = sign * problem.b[i];
-    tab.basis()[i] = cols + i;
-  }
-  // Phase-1 objective row: sum of artificial rows, negated into reduced form.
-  for (std::size_t j = 0; j <= cols + rows; ++j) {
-    double sum = 0.0;
-    for (std::size_t i = 0; i < rows; ++i) sum += t[i][j];
-    t[rows][j] = (j >= cols && j < cols + rows) ? 0.0 : -sum;
-  }
-  LpSolution solution;
-  if (!tab.iterate()) {
-    solution.status = LpStatus::kInfeasible;  // phase 1 cannot be unbounded
-    return solution;
-  }
-  if (t[rows][cols + rows] < -1e-6) {
-    solution.status = LpStatus::kInfeasible;
-    return solution;
-  }
-  // Drive any artificial variables out of the basis when possible.
-  for (std::size_t i = 0; i < rows; ++i) {
-    if (tab.basis()[i] >= cols) {
-      for (std::size_t j = 0; j < cols; ++j) {
-        if (std::abs(t[i][j]) > kEps) {
-          tab.pivot(i, j);
-          break;
-        }
-      }
-    }
-  }
-
-  // Phase 2: rebuild the objective row from c over the current basis.
-  for (std::size_t j = 0; j <= cols + rows; ++j) t[rows][j] = 0.0;
-  for (std::size_t j = 0; j < cols; ++j) t[rows][j] = problem.c[j];
-  // Forbid artificial columns from re-entering.
-  for (std::size_t j = cols; j < cols + rows; ++j) t[rows][j] = 1e18;
-  // Reduce the objective row against the basis.
-  for (std::size_t i = 0; i < rows; ++i) {
-    const std::size_t bj = tab.basis()[i];
-    const double f = t[rows][bj];
-    if (std::abs(f) < kEps) continue;
-    for (std::size_t j = 0; j <= cols + rows; ++j) t[rows][j] -= f * t[i][j];
-  }
-  if (!tab.iterate()) {
-    solution.status = LpStatus::kUnbounded;
-    return solution;
-  }
-
-  solution.status = LpStatus::kOptimal;
-  solution.x.assign(cols, 0.0);
-  for (std::size_t i = 0; i < rows; ++i) {
-    if (tab.basis()[i] < cols) {
-      solution.x[tab.basis()[i]] = std::max(0.0, t[i][cols + rows]);
-    }
-  }
-  solution.objective = 0.0;
+  ColumnLp master(problem.b, options);
+  std::vector<double> column(rows);
   for (std::size_t j = 0; j < cols; ++j) {
-    solution.objective += problem.c[j] * solution.x[j];
+    for (std::size_t i = 0; i < rows; ++i) column[i] = problem.a[i][j];
+    master.add_column(column, problem.c[j]);
   }
-  solution.basis = tab.basis();
-  return solution;
+  return master.resolve();
 }
 
 }  // namespace dsp::lp

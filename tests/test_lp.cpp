@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "lp/simplex.hpp"
+#include "util/check.hpp"
 #include "util/prng.hpp"
 
 namespace dsp::lp {
@@ -116,6 +117,257 @@ TEST(Simplex, BasicSolutionHasAtMostRowsNonzeros) {
       EXPECT_NEAR(lhs, p.b[i], 1e-5);
     }
   }
+}
+
+TEST(Simplex, ExposesDualsAndPivotCount) {
+  LpProblem p;
+  p.a = {{1, 1, 0}, {0, 1, 1}};
+  p.b = {3, 2};
+  p.c = {1, 2, 1};
+  const LpSolution s = solve(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  ASSERT_EQ(s.duals.size(), 2u);
+  EXPECT_GE(s.pivots, 1u);
+  // Strong duality: y^T b == objective at an optimal basis.
+  EXPECT_NEAR(s.duals[0] * 3 + s.duals[1] * 2, s.objective, 1e-6);
+  // Dual feasibility: every column prices out non-negative.
+  for (std::size_t j = 0; j < p.c.size(); ++j) {
+    double yta = 0.0;
+    for (std::size_t i = 0; i < p.b.size(); ++i) yta += s.duals[i] * p.a[i][j];
+    EXPECT_GE(p.c[j] - yta, -1e-6) << "column " << j;
+  }
+}
+
+TEST(Simplex, BlandAndDantzigAgreeOnRandomProblems) {
+  Rng rng(77);
+  for (int round = 0; round < 25; ++round) {
+    const std::size_t rows = static_cast<std::size_t>(rng.uniform(1, 5));
+    const std::size_t cols = static_cast<std::size_t>(rng.uniform(rows, 12));
+    LpProblem p;
+    p.a.assign(rows, std::vector<double>(cols));
+    p.c.assign(cols, 0.0);
+    for (std::size_t j = 0; j < cols; ++j) {
+      p.c[j] = static_cast<double>(rng.uniform(1, 6));
+      for (std::size_t i = 0; i < rows; ++i) {
+        p.a[i][j] = static_cast<double>(rng.uniform(0, 3));
+      }
+    }
+    std::vector<double> x0(cols);
+    for (auto& v : x0) v = static_cast<double>(rng.uniform(0, 4));
+    p.b.assign(rows, 0.0);
+    for (std::size_t i = 0; i < rows; ++i) {
+      for (std::size_t j = 0; j < cols; ++j) p.b[i] += p.a[i][j] * x0[j];
+    }
+    const LpSolution dantzig = solve(p, LpOptions{PivotRule::kDantzig, 64});
+    const LpSolution bland = solve(p, LpOptions{PivotRule::kBland, 64});
+    ASSERT_EQ(dantzig.status, LpStatus::kOptimal) << "round " << round;
+    ASSERT_EQ(bland.status, LpStatus::kOptimal) << "round " << round;
+    EXPECT_NEAR(dantzig.objective, bland.objective, 1e-5) << "round " << round;
+  }
+}
+
+TEST(Simplex, DegenerateBasisTerminatesAndKeepsStrongDuality) {
+  // A duplicated constraint leaves a redundant row (its artificial stays
+  // basic at zero) and a degenerate vertex; the solver must still terminate
+  // with a correct primal/dual pair.
+  LpProblem p;
+  p.a = {{1, 1}, {1, 1}, {1, 0}};
+  p.b = {2, 2, 0};
+  p.c = {3, 1};
+  const LpSolution s = solve(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 2.0, 1e-6);  // x1 = 2 (x0 forced to 0)
+  EXPECT_NEAR(s.x[0], 0.0, 1e-6);
+  EXPECT_NEAR(s.x[1], 2.0, 1e-6);
+  double ytb = 0.0;
+  for (std::size_t i = 0; i < p.b.size(); ++i) ytb += s.duals[i] * p.b[i];
+  EXPECT_NEAR(ytb, s.objective, 1e-6);
+}
+
+TEST(Simplex, UnboundedDetectedUnderBothRules) {
+  LpProblem p;
+  p.a = {{1, -1}};
+  p.b = {0};
+  p.c = {-1, 0};
+  EXPECT_EQ(solve(p, LpOptions{PivotRule::kDantzig, 64}).status,
+            LpStatus::kUnbounded);
+  EXPECT_EQ(solve(p, LpOptions{PivotRule::kBland, 64}).status,
+            LpStatus::kUnbounded);
+}
+
+TEST(Simplex, NoConstraintsMeansZeroOrUnbounded) {
+  LpProblem p;
+  p.b = {};
+  p.c = {2, 1};
+  const LpSolution zero = solve(p);
+  ASSERT_EQ(zero.status, LpStatus::kOptimal);
+  EXPECT_NEAR(zero.objective, 0.0, 1e-9);
+  p.c = {-1, 1};
+  EXPECT_EQ(solve(p).status, LpStatus::kUnbounded);
+}
+
+TEST(ColumnLp, IncrementalMatchesDenseSolve) {
+  Rng rng(91);
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t rows = static_cast<std::size_t>(rng.uniform(1, 5));
+    const std::size_t cols = static_cast<std::size_t>(rng.uniform(rows, 10));
+    LpProblem p;
+    p.a.assign(rows, std::vector<double>(cols));
+    p.c.assign(cols, 0.0);
+    for (std::size_t j = 0; j < cols; ++j) {
+      p.c[j] = static_cast<double>(rng.uniform(1, 6));
+      for (std::size_t i = 0; i < rows; ++i) {
+        p.a[i][j] = static_cast<double>(rng.uniform(0, 3));
+      }
+    }
+    std::vector<double> x0(cols);
+    for (auto& v : x0) v = static_cast<double>(rng.uniform(0, 4));
+    p.b.assign(rows, 0.0);
+    for (std::size_t i = 0; i < rows; ++i) {
+      for (std::size_t j = 0; j < cols; ++j) p.b[i] += p.a[i][j] * x0[j];
+    }
+    const LpSolution dense = solve(p);
+    ASSERT_EQ(dense.status, LpStatus::kOptimal);
+
+    // Same problem fed column by column with interleaved warm re-solves.
+    ColumnLp master(p.b);
+    std::vector<double> column(rows);
+    for (std::size_t j = 0; j < cols; ++j) {
+      for (std::size_t i = 0; i < rows; ++i) column[i] = p.a[i][j];
+      EXPECT_EQ(master.add_column(column, p.c[j]), j);
+      if (j % 3 == 2) (void)master.resolve();  // interleave warm starts
+    }
+    const LpSolution& incremental = master.resolve();
+    ASSERT_EQ(incremental.status, LpStatus::kOptimal) << "round " << round;
+    EXPECT_NEAR(incremental.objective, dense.objective, 1e-5)
+        << "round " << round;
+    // The incremental solution satisfies the constraints too.
+    for (std::size_t i = 0; i < rows; ++i) {
+      double lhs = 0.0;
+      for (std::size_t j = 0; j < cols; ++j) {
+        lhs += p.a[i][j] * incremental.x[j];
+      }
+      EXPECT_NEAR(lhs, p.b[i], 1e-5);
+    }
+  }
+}
+
+TEST(ColumnLp, WarmStartPicksUpCheaperColumn) {
+  // min over {x0 = 5} costs 15 with only the cost-3 column; adding a cost-1
+  // column re-solves in O(1) pivots to 5.
+  ColumnLp master({5.0});
+  master.add_column({1.0}, 3.0);
+  const LpSolution first = master.resolve();
+  ASSERT_EQ(first.status, LpStatus::kOptimal);
+  EXPECT_NEAR(first.objective, 15.0, 1e-6);
+  master.add_column({1.0}, 1.0);
+  const LpSolution& second = master.resolve();
+  ASSERT_EQ(second.status, LpStatus::kOptimal);
+  EXPECT_NEAR(second.objective, 5.0, 1e-6);
+  EXPECT_NEAR(second.x[1], 5.0, 1e-6);
+  EXPECT_LE(second.pivots, 2u) << "warm start should need at most one pivot "
+                                  "per new column here";
+}
+
+TEST(ColumnLp, FarkasCertificateGuidesFeasibilityPricing) {
+  // Rows: {x-coverage, y-coverage}; the first column only covers row 0, so
+  // the restricted master is infeasible while the full LP is not.
+  ColumnLp master({1.0, 1.0});
+  master.add_column({1.0, 0.0}, 1.0);
+  const LpSolution& infeasible = master.resolve();
+  ASSERT_EQ(infeasible.status, LpStatus::kInfeasible);
+  const std::vector<double>& y = master.farkas();
+  ASSERT_EQ(y.size(), 2u);
+  // Certificate: y^T b > 0 while every existing column has y^T a <= 0.
+  EXPECT_GT(y[0] * 1.0 + y[1] * 1.0, 1e-7);
+  EXPECT_LE(y[0] * 1.0 + y[1] * 0.0, 1e-7);
+  // The missing column violates the certificate — Farkas pricing finds it —
+  // and adding it restores feasibility.
+  EXPECT_GT(y[0] * 0.0 + y[1] * 1.0, 1e-7);
+  master.add_column({0.0, 1.0}, 1.0);
+  const LpSolution& repaired = master.resolve();
+  ASSERT_EQ(repaired.status, LpStatus::kOptimal);
+  EXPECT_NEAR(repaired.objective, 2.0, 1e-6);
+  EXPECT_TRUE(master.farkas().empty());
+}
+
+TEST(ColumnLp, RedundantRowArtificialCannotDriftPositive) {
+  // Row 1 (b = 0) is untouched by the first column, so its artificial stays
+  // basic at zero across the first resolve.  The second column has a
+  // negative entry in that row; a plain ratio test would let the pivot
+  // drive the artificial positive and return an "optimal" solution with
+  // A x != b.  The blocking rule must force x1 = 0 instead.
+  ColumnLp master({1.0, 0.0});
+  master.add_column({1.0, 0.0}, 1.0);
+  ASSERT_EQ(master.resolve().status, LpStatus::kOptimal);
+  master.add_column({2.0, -1.0}, 0.1);
+  const LpSolution& s = master.resolve();
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.x[0] * 1.0 + s.x[1] * 2.0, 1.0, 1e-6);
+  EXPECT_NEAR(s.x[1] * -1.0, 0.0, 1e-6);
+  EXPECT_NEAR(s.objective, 1.0, 1e-6);
+}
+
+TEST(ColumnLp, SubToleranceResidualIsNeverAmplified) {
+  // Row 1 carries a sub-kFeasTol right-hand side that the first column
+  // cannot serve, so phase 1 ends "feasible" with a tiny residual on the
+  // basic artificial.  The second column's small negative coefficient in
+  // that row must not be used as a blocking pivot (dividing 5e-7 by 2e-7
+  // would drive the entering variable basic at -2.5 and break row 0 by
+  // O(1)); the solution must stay feasible up to tolerance.
+  ColumnLp master({1.0, 5e-7});
+  master.add_column({1.0, 0.0}, 1.0);
+  ASSERT_EQ(master.resolve().status, LpStatus::kOptimal);
+  master.add_column({1.0, -2e-7}, 0.1);
+  const LpSolution& s = master.resolve();
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.x[0] * 1.0 + s.x[1] * 1.0, 1.0, 1e-5);
+  EXPECT_NEAR(s.x[1] * -2e-7, 0.0, 1e-5);
+}
+
+TEST(ColumnLp, DriveOutNeverAmplifiesSubToleranceResidual) {
+  // Same shape as above, but both columns are present for the *first*
+  // resolve, so it is the phase-1 drive-out loop — not the ratio test —
+  // that sees row 1's basic artificial (residual 5e-7) next to the second
+  // column's -2e-9 coefficient.  Pivoting there would blow the solution up
+  // to x0 ~ 251; the drive-out guard must skip it.
+  ColumnLp master({1.0, 5e-7});
+  master.add_column({1.0, 0.0}, 1.0);
+  master.add_column({1.0, -2e-9}, 0.1);
+  const LpSolution& s = master.resolve();
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.x[0] + s.x[1], 1.0, 1e-5);
+  EXPECT_NEAR(s.objective, 0.1, 1e-5);  // one unit of the cheaper column
+}
+
+TEST(ColumnLp, TrulyInfeasibleStaysInfeasibleAfterResolves) {
+  ColumnLp master({-1.0});  // x >= 0 cannot produce a negative sum
+  master.add_column({1.0}, 1.0);
+  EXPECT_EQ(master.resolve().status, LpStatus::kInfeasible);
+  master.add_column({2.0}, 1.0);
+  EXPECT_EQ(master.resolve().status, LpStatus::kInfeasible);
+  EXPECT_FALSE(master.farkas().empty());
+}
+
+TEST(ColumnLp, RefusesToSolvePastAnUnblockableArtificialDrift) {
+  // Row 1's artificial is basic at zero; the second column's -9e-8
+  // coefficient there is too small for the blocking pivot, while the huge
+  // rhs of row 0 makes the entering value (1e9) large enough to drive the
+  // artificial to -90.  No safe pivot exists, so the solver must report
+  // "could not solve" (infeasible, empty certificate) — never kOptimal
+  // with A x violated by orders of magnitude.
+  ColumnLp master({1e9, 0.0});
+  master.add_column({1.0, 0.0}, 1.0);
+  ASSERT_EQ(master.resolve().status, LpStatus::kOptimal);
+  master.add_column({1.0, -9e-8}, 0.1);
+  const LpSolution& s = master.resolve();
+  EXPECT_NE(s.status, LpStatus::kOptimal);
+  EXPECT_TRUE(master.farkas().empty());
+}
+
+TEST(ColumnLp, RejectsWrongColumnSize) {
+  ColumnLp master({1.0, 2.0});
+  EXPECT_THROW((void)master.add_column({1.0}, 0.0), InvalidInput);
 }
 
 }  // namespace
