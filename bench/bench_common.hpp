@@ -4,17 +4,14 @@
 // index).  Every bench prints the rows/series of the paper element it
 // regenerates; EXPERIMENTS.md records paper-vs-measured.
 
-#include <iostream>
-#include <limits>
-#include <sstream>
 #include <string>
-#include <type_traits>
 #include <vector>
 
 #include "core/bounds.hpp"
 #include "core/packing.hpp"
 #include "gen/families.hpp"
 #include "gen/smart_grid.hpp"
+#include "util/json_row.hpp"
 #include "util/prng.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
@@ -67,46 +64,8 @@ inline double ratio(Height achieved, Height reference) {
                               static_cast<double>(reference);
 }
 
-/// Machine-readable benchmark output: one flat JSON object per line, printed
-/// alongside the human tables so downstream tooling can scrape runs without
-/// parsing the fixed-width rendering.  Keys appear in insertion order; string
-/// values must not contain quotes or backslashes (bench identifiers do not).
-class JsonRow {
- public:
-  JsonRow& field(const std::string& key, const std::string& value) {
-    return raw(key, '"' + value + '"');
-  }
-  JsonRow& field(const std::string& key, const char* value) {
-    return field(key, std::string(value));
-  }
-  template <typename T>
-    requires std::is_integral_v<T>
-  JsonRow& field(const std::string& key, T value) {
-    return raw(key, std::to_string(value));
-  }
-  JsonRow& field(const std::string& key, double value) {
-    std::ostringstream oss;
-    oss.precision(std::numeric_limits<double>::max_digits10);
-    oss << value;
-    return raw(key, oss.str());
-  }
-
-  void print(std::ostream& os) const {
-    os << '{';
-    for (std::size_t i = 0; i < parts_.size(); ++i) {
-      if (i > 0) os << ',';
-      os << parts_[i];
-    }
-    os << "}\n";
-  }
-
- private:
-  JsonRow& raw(const std::string& key, std::string value) {
-    parts_.push_back('"' + key + "\":" + std::move(value));
-    return *this;
-  }
-
-  std::vector<std::string> parts_;
-};
+/// Machine-readable benchmark output (one flat JSON object per line), now
+/// shared with the dsp_solve serving CLI — see util/json_row.hpp.
+using dsp::JsonRow;
 
 }  // namespace dsp::bench

@@ -1,0 +1,52 @@
+#include "gen/corpus.hpp"
+
+#include "gen/families.hpp"
+#include "gen/gap.hpp"
+#include "gen/hardness.hpp"
+#include "gen/smart_grid.hpp"
+#include "util/prng.hpp"
+
+namespace dsp::gen {
+
+std::vector<GoldenInstance> golden_corpus() {
+  // One fixed seed per family: the corpus is a fingerprint of the
+  // generators as much as of the wire format, so CI catches accidental
+  // generator drift when it diffs the regenerated files.
+  std::vector<GoldenInstance> corpus;
+  {
+    Rng rng(1001);
+    corpus.push_back({"correlated", correlated(18, 48, 24, 10, rng)});
+  }
+  {
+    Rng rng(1002);
+    corpus.push_back({"equal-width", equal_width(16, 36, 6, 9, rng)});
+  }
+  corpus.push_back({"gap", gap_instance()});
+  {
+    Rng rng(1003);
+    corpus.push_back({"hardness", planted_yes(3, 24, rng).instance});
+  }
+  {
+    Rng rng(1004);
+    corpus.push_back({"perfect", perfect_packing(20, 40, 18, rng)});
+  }
+  {
+    Rng rng(1005);
+    corpus.push_back({"smart-grid", smart_grid(24, 96, rng)});
+  }
+  {
+    Rng rng(1006);
+    corpus.push_back({"tall", tall_items(16, 40, 14, rng)});
+  }
+  {
+    Rng rng(1007);
+    corpus.push_back({"uniform", random_uniform(20, 48, 20, 12, rng)});
+  }
+  {
+    Rng rng(1008);
+    corpus.push_back({"wide", wide_items(14, 40, 8, rng)});
+  }
+  return corpus;
+}
+
+}  // namespace dsp::gen

@@ -1,0 +1,25 @@
+#pragma once
+
+// The golden instance corpus: one small, fixed-seed instance per generator
+// family, shared by the checked-in examples/instances/ files, the dsp_solve
+// CI smoke run, and the serving-layer tests.  Deterministic by
+// construction — regenerating the corpus must reproduce the checked-in
+// files byte for byte (CI diffs them).
+
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+
+namespace dsp::gen {
+
+struct GoldenInstance {
+  std::string name;  ///< family slug; the corpus file is `<name>.json`
+  Instance instance;
+};
+
+/// All golden instances, in corpus (alphabetical) order.  Sizes are kept
+/// small enough that a full-corpus portfolio solve stays interactive.
+[[nodiscard]] std::vector<GoldenInstance> golden_corpus();
+
+}  // namespace dsp::gen

@@ -7,14 +7,12 @@
 
 namespace dsp::runtime {
 
-namespace {
-
-/// Pool size for a self-owned pool: the requested thread count, never more
-/// workers than tasks (idle workers would only cost startup time).
 std::size_t own_pool_size(std::size_t requested, std::size_t tasks) {
   if (requested == 0) requested = ThreadPool::hardware_threads();
   return std::max<std::size_t>(1, std::min(requested, tasks));
 }
+
+namespace {
 
 /// One sequential portfolio solve — the unit of work of solve_many and
 /// solve_many_stream; the event payload is exactly this result.

@@ -80,6 +80,13 @@ struct ParallelOptions {
 /// Sentinel for an untouched `live_peak` slot.
 inline constexpr Height kPeakUnknown = std::numeric_limits<Height>::max();
 
+/// Pool size for a self-owned pool: the requested thread count (0 =
+/// hardware_threads()), never more workers than tasks (idle workers would
+/// only cost startup time).  The sizing rule every convenience overload
+/// here uses — and the serving layer's CachingSolver reuses.
+[[nodiscard]] std::size_t own_pool_size(std::size_t requested,
+                                        std::size_t tasks);
+
 /// Lock-free monotone minimum, used by workers for early peak reporting.
 /// The successful exchange uses release ordering so the new minimum
 /// *publishes* the worker's preceding writes; pair it with an acquire load

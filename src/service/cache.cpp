@@ -1,0 +1,278 @@
+#include "service/cache.hpp"
+
+#include <algorithm>
+#include <future>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "algo/portfolio.hpp"
+#include "runtime/parallel.hpp"
+#include "util/check.hpp"
+#include "util/prng.hpp"
+
+namespace dsp::service {
+
+namespace {
+
+[[nodiscard]] std::uint64_t key_hash64(const CacheKey& key) {
+  return Rng::mix_seed(
+      key.instance_hash.hi ^
+      Rng::mix_seed(key.instance_hash.lo ^
+                    Rng::mix_seed(key.params_fingerprint)));
+}
+
+struct KeyHash {
+  std::size_t operator()(const CacheKey& key) const {
+    return static_cast<std::size_t>(key_hash64(key));
+  }
+};
+
+/// Fixed per-entry overhead charged on top of the variable payload: the
+/// node, map slot and control block are real memory even for a tiny packing.
+constexpr std::size_t kEntryOverhead = 128;
+
+[[nodiscard]] std::size_t entry_bytes(const CachedSolve& value) {
+  return kEntryOverhead + value.packing.start.size() * sizeof(Length) +
+         value.winner.size();
+}
+
+}  // namespace
+
+std::string_view to_string(ServeEngine engine) {
+  return engine == ServeEngine::kPortfolio ? "portfolio" : "solve54";
+}
+
+std::uint64_t params_fingerprint(const ServeParams& params) {
+  ContentHasher hasher;
+  // Domain salt + fingerprint version: bump if the absorbed field set ever
+  // changes, so stale persisted keys (a future follow-up) cannot alias.
+  hasher.absorb(0x6473702d73727631ull);  // "dsp-srv1"
+  hasher.absorb(static_cast<std::uint64_t>(params.engine));
+  if (params.engine == ServeEngine::kSolve54) {
+    // Result-affecting solve54 knobs only.  Excluded on purpose — proved
+    // result-invariant by the runtime determinism suites — are
+    // lp_pricing_threads and overlap_step1, plus ServeParams::backend and
+    // ::threads (see DESIGN.md, "The serving layer").
+    const approx::Approx54Params& approx = params.approx;
+    hasher.absorb_signed(approx.epsilon.num());
+    hasher.absorb_signed(approx.epsilon.den());
+    hasher.absorb_signed(approx.ladder_length);
+    hasher.absorb(static_cast<std::uint64_t>(approx.lp_engine));
+    hasher.absorb(approx.max_configs);
+    hasher.absorb(approx.max_pricing_rounds);
+    hasher.absorb(approx.max_gap_boxes);
+    hasher.absorb_signed(approx.probe_parallelism);
+  }
+  return hasher.digest64();
+}
+
+// ---------------------------------------------------------------------------
+// SolveCache.
+// ---------------------------------------------------------------------------
+
+struct SolveCache::Shard {
+  struct Entry {
+    CacheKey key;
+    std::shared_ptr<const CachedSolve> value;
+    std::size_t bytes = 0;
+  };
+
+  std::mutex mutex;
+  /// Front = most recently used; eviction pops the back.
+  std::list<Entry> lru;
+  std::unordered_map<CacheKey, std::list<Entry>::iterator, KeyHash> resident;
+  /// Keys currently being computed; joiners wait on the shared future.
+  std::unordered_map<CacheKey,
+                     std::shared_future<std::shared_ptr<const CachedSolve>>,
+                     KeyHash>
+      inflight;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t inflight_joins = 0;
+  std::uint64_t evictions = 0;
+  std::size_t bytes = 0;
+};
+
+SolveCache::SolveCache(const CacheOptions& options)
+    : capacity_bytes_(options.capacity_bytes) {
+  const std::size_t shard_count = std::max<std::size_t>(1, options.shards);
+  per_shard_capacity_ = capacity_bytes_ / shard_count;
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+SolveCache::~SolveCache() = default;
+
+SolveCache::Shard& SolveCache::shard_for(const CacheKey& key) const {
+  return *shards_[key_hash64(key) % shards_.size()];
+}
+
+SolveCache::Lookup SolveCache::get_or_compute(
+    const CacheKey& key, const std::function<CachedSolve()>& compute) {
+  Shard& shard = shard_for(key);
+  std::promise<std::shared_ptr<const CachedSolve>> promise;
+  {
+    std::unique_lock<std::mutex> lock(shard.mutex);
+    if (const auto it = shard.resident.find(key);
+        it != shard.resident.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      ++shard.hits;
+      return Lookup{it->second->value, CacheOutcome::kHit};
+    }
+    if (const auto it = shard.inflight.find(key);
+        it != shard.inflight.end()) {
+      ++shard.inflight_joins;
+      // Copy the shared future, then wait outside the lock: the computing
+      // thread needs the lock to publish, and other keys in this shard must
+      // not stall behind our wait.
+      std::shared_future<std::shared_ptr<const CachedSolve>> pending =
+          it->second;
+      lock.unlock();
+      return Lookup{pending.get(), CacheOutcome::kJoined};
+    }
+    ++shard.misses;
+    shard.inflight.emplace(key, promise.get_future().share());
+  }
+
+  // The single flight: exactly one thread per key reaches this point.
+  // `compute` runs outside every lock so it can fan out on its own pool.
+  std::shared_ptr<const CachedSolve> value;
+  try {
+    value = std::make_shared<const CachedSolve>(compute());
+  } catch (...) {
+    {
+      const std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.inflight.erase(key);
+    }
+    // Joiners that already hold the future get the same exception; the next
+    // fresh request recomputes (errors are never cached).
+    promise.set_exception(std::current_exception());
+    throw;
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.inflight.erase(key);
+    shard.lru.push_front(Shard::Entry{key, value, entry_bytes(*value)});
+    shard.resident.emplace(key, shard.lru.begin());
+    shard.bytes += shard.lru.front().bytes;
+    // Evict cold entries past the shard's budget.  A value bigger than the
+    // whole budget evicts itself right away — such answers are effectively
+    // uncacheable rather than allowed to pin the shard.
+    while (shard.bytes > per_shard_capacity_ && !shard.lru.empty()) {
+      const Shard::Entry& victim = shard.lru.back();
+      shard.bytes -= victim.bytes;
+      shard.resident.erase(victim.key);
+      shard.lru.pop_back();
+      ++shard.evictions;
+    }
+  }
+  promise.set_value(value);
+  return Lookup{std::move(value), CacheOutcome::kMiss};
+}
+
+CacheStats SolveCache::stats() const {
+  CacheStats total;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    total.hits += shard->hits;
+    total.misses += shard->misses;
+    total.inflight_joins += shard->inflight_joins;
+    total.evictions += shard->evictions;
+    total.entries += shard->resident.size();
+    total.bytes += shard->bytes;
+  }
+  return total;
+}
+
+void SolveCache::clear() {
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->lru.clear();
+    shard->resident.clear();
+    shard->bytes = 0;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CachingSolver.
+// ---------------------------------------------------------------------------
+
+CachingSolver::CachingSolver(const ServeParams& params,
+                             const CacheOptions& cache_options)
+    : params_(params),
+      fingerprint_(params_fingerprint(params)),
+      cache_(cache_options) {}
+
+CachedSolve CachingSolver::compute_canonical(const Instance& canonical) const {
+  CachedSolve solve;
+  if (params_.engine == ServeEngine::kPortfolio) {
+    solve.packing =
+        algo::best_of_portfolio(canonical, &solve.winner, params_.backend);
+    solve.peak = peak_height(canonical, solve.packing);
+  } else {
+    approx::Approx54Params approx = params_.approx;
+    approx.backend = params_.backend;  // ServeParams::backend is THE backend
+    approx::Approx54Result result = approx::solve54(canonical, approx);
+    solve.packing = std::move(result.packing);
+    solve.peak = result.peak;
+    solve.winner = "solve54";
+  }
+  return solve;
+}
+
+SolveResponse CachingSolver::solve(const Instance& instance) {
+  const CanonicalForm form = canonicalize(instance);
+  SolveResponse response;
+  if (params_.bypass_cache) {
+    CachedSolve computed = compute_canonical(form.instance);
+    response.packing = restore_item_order(form, computed.packing);
+    response.peak = computed.peak;
+    response.winner = std::move(computed.winner);
+    response.outcome = CacheOutcome::kMiss;
+    return response;
+  }
+  const CacheKey key{canonical_hash(form.instance), fingerprint_};
+  const SolveCache::Lookup lookup = cache_.get_or_compute(
+      key, [this, &form]() { return compute_canonical(form.instance); });
+  response.packing = restore_item_order(form, lookup.value->packing);
+  response.peak = lookup.value->peak;
+  response.winner = lookup.value->winner;
+  response.outcome = lookup.outcome;
+  return response;
+}
+
+std::vector<SolveResponse> CachingSolver::solve_many(
+    const std::vector<Instance>& instances) {
+  if (instances.empty()) return {};
+  runtime::ThreadPool pool(runtime::own_pool_size(params_.threads, instances.size()));
+  return runtime::parallel_map(
+      pool, instances,
+      [this](const Instance& instance, std::size_t) { return solve(instance); });
+}
+
+std::vector<SolveResponse> CachingSolver::solve_many_stream(
+    const std::vector<Instance>& instances, runtime::Channel<ServeEvent>& sink) {
+  const runtime::ChannelCloser<ServeEvent> closer(&sink);
+  if (instances.empty()) return {};
+  runtime::ThreadPool pool(runtime::own_pool_size(params_.threads, instances.size()));
+  return runtime::parallel_map(
+      pool, instances, [&](const Instance& instance, std::size_t index) {
+        try {
+          SolveResponse response = solve(instance);
+          sink.push(ServeEvent{index, response});
+          return response;
+        } catch (...) {
+          // Fail fast on the stream, like solve_many_stream: a live consumer
+          // must not mistake a failed serve for a clean finish.
+          sink.push_exception(std::current_exception());
+          throw;
+        }
+      });
+}
+
+}  // namespace dsp::service

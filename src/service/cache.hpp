@@ -1,0 +1,231 @@
+#pragma once
+
+// The sharded single-flight solve cache and the CachingSolver front door
+// (DESIGN.md, "The serving layer").
+//
+// Serving workloads are dominated by repeats and near-repeats of the same
+// request (the same smart-grid day, the same cluster shape).  The cache
+// keys on (canonical content hash, solver-params fingerprint), so
+// semantically identical requests — any item order, any ids/labels — hit
+// the same entry:
+//
+//  * sharded — N independently mutex-guarded LRU maps; a key's shard is a
+//    hash of the key, so concurrent lookups for different keys almost never
+//    contend on a lock.
+//  * single-flight — concurrent misses for the same key block on the one
+//    in-flight computation instead of duplicating it; joiners see the same
+//    shared result (or the same exception) the computing thread produced.
+//  * LRU by bytes — entries are charged by packing size and evicted from
+//    the cold end once the shard's share of `capacity_bytes` overflows.
+//
+// Determinism: CachingSolver always solves the *canonical form* and maps
+// starts back through the request's permutation, so its answer is a pure
+// function of (canonical instance, result-affecting params) — identical
+// whether it came from a cold solve, a cache hit, or an in-flight join, for
+// any thread count and either profile backend (the argument lives in
+// DESIGN.md).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "approx/solve54.hpp"
+#include "core/instance.hpp"
+#include "core/packing.hpp"
+#include "core/profile.hpp"
+#include "runtime/channel.hpp"
+#include "runtime/thread_pool.hpp"
+#include "service/canonical.hpp"
+
+namespace dsp::service {
+
+// ---------------------------------------------------------------------------
+// Keys and fingerprints.
+// ---------------------------------------------------------------------------
+
+/// Pipeline a request is served with.
+enum class ServeEngine {
+  kPortfolio,  ///< algo::best_of_portfolio over the canonical instance
+  kSolve54,    ///< approx::solve54 over the canonical instance
+};
+
+[[nodiscard]] std::string_view to_string(ServeEngine engine);
+
+/// Everything that shapes a served solve.  Split into result-affecting
+/// parameters (fingerprinted into the cache key) and execution knobs
+/// (excluded, because the runtime's determinism contracts prove the result
+/// does not depend on them — see params_fingerprint).
+struct ServeParams {
+  ServeEngine engine = ServeEngine::kPortfolio;
+  /// Execution knob: dense and sparse produce identical packings (the
+  /// profile-backend equivalence suite), so the backend is NOT part of the
+  /// cache key — a dense miss serves later sparse requests.
+  ProfileBackendKind backend = ProfileBackendKind::kAuto;
+  /// Execution knob: pool size for solve_many fan-out; 0 = hardware.
+  std::size_t threads = 0;
+  /// Result-affecting solve54 parameters (engine == kSolve54 only).  The
+  /// execution knobs inside (lp_pricing_threads, overlap_step1) are NOT
+  /// fingerprinted; epsilon, ladder, LP engine, caps and probe_parallelism
+  /// are.
+  approx::Approx54Params approx;
+  /// Debug escape hatch: compute every request (no lookups, no inserts).
+  /// Responses must stay bit-identical — the bypass only skips the cache.
+  bool bypass_cache = false;
+};
+
+/// 64-bit fingerprint of the result-affecting parameters.  Distinct
+/// parameter sets must never collide in practice; execution knobs are
+/// deliberately excluded so they never fragment the cache.
+[[nodiscard]] std::uint64_t params_fingerprint(const ServeParams& params);
+
+struct CacheKey {
+  Hash128 instance_hash;
+  std::uint64_t params_fingerprint = 0;
+
+  [[nodiscard]] bool operator==(const CacheKey&) const = default;
+};
+
+// ---------------------------------------------------------------------------
+// The sharded single-flight LRU.
+// ---------------------------------------------------------------------------
+
+/// A cached answer, always in canonical item order (the cache never sees a
+/// requester's permutation).
+struct CachedSolve {
+  Packing packing;  ///< starts for the canonical instance
+  Height peak = 0;
+  std::string winner;
+};
+
+struct CacheOptions {
+  /// Total value-byte budget across all shards (the sum of per-entry packing
+  /// and winner payloads; an entry larger than its shard's share is evicted
+  /// immediately and effectively uncacheable).
+  std::size_t capacity_bytes = 64ull << 20;
+  /// Lock shards; clamped to >= 1.
+  std::size_t shards = 8;
+};
+
+/// How a lookup was satisfied.
+enum class CacheOutcome {
+  kMiss,    ///< this thread computed and inserted the value
+  kHit,     ///< served from the LRU
+  kJoined,  ///< waited on another thread's in-flight computation
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t inflight_joins = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t entries = 0;  ///< currently resident
+  std::uint64_t bytes = 0;    ///< currently charged
+};
+
+class SolveCache {
+ public:
+  explicit SolveCache(const CacheOptions& options = {});
+  ~SolveCache();
+
+  SolveCache(const SolveCache&) = delete;
+  SolveCache& operator=(const SolveCache&) = delete;
+
+  struct Lookup {
+    std::shared_ptr<const CachedSolve> value;
+    CacheOutcome outcome = CacheOutcome::kMiss;
+  };
+
+  /// The single-flight lookup: returns the cached value, or joins the
+  /// in-flight computation for `key`, or runs `compute` exactly once and
+  /// caches its result.  `compute` runs outside every cache lock, so it may
+  /// itself solve on a thread pool.  If `compute` throws, the error
+  /// propagates to the computing caller and to every joiner; nothing is
+  /// cached (the next request recomputes).
+  [[nodiscard]] Lookup get_or_compute(
+      const CacheKey& key, const std::function<CachedSolve()>& compute);
+
+  /// Aggregated over shards (each shard's counters are read under its own
+  /// lock; the sum is a consistent snapshot only when idle).
+  [[nodiscard]] CacheStats stats() const;
+  [[nodiscard]] std::size_t capacity_bytes() const { return capacity_bytes_; }
+  /// Drops every resident entry (in-flight computations are unaffected).
+  void clear();
+
+ private:
+  struct Shard;
+
+  [[nodiscard]] Shard& shard_for(const CacheKey& key) const;
+
+  std::size_t capacity_bytes_;
+  std::size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+// ---------------------------------------------------------------------------
+// The caching solver: canonicalize -> cache -> solve -> restore order.
+// ---------------------------------------------------------------------------
+
+/// One served answer, in the requester's item order.  The payload
+/// (packing, peak, winner) is a pure function of (canonical instance,
+/// fingerprinted params); `outcome` records how the cache satisfied this
+/// particular request and is scheduling-dependent for concurrent
+/// duplicates (miss vs. hit vs. join), so equality comparisons that only
+/// care about the answer should compare the payload fields.
+struct SolveResponse {
+  Packing packing;
+  Height peak = 0;
+  std::string winner;
+  CacheOutcome outcome = CacheOutcome::kMiss;
+
+  [[nodiscard]] bool operator==(const SolveResponse&) const = default;
+};
+
+/// One completion-order event from a streaming served batch (mirrors
+/// runtime::BatchEvent).
+struct ServeEvent {
+  std::size_t index = 0;
+  SolveResponse response;
+};
+
+/// The serving front door over runtime::solve_many-style batches: every
+/// request is canonicalized, deduplicated through the SolveCache, solved
+/// with the configured pipeline, and answered in the requester's item
+/// order.  Thread-safe: solve/solve_many may be called concurrently.
+class CachingSolver {
+ public:
+  explicit CachingSolver(const ServeParams& params = {},
+                         const CacheOptions& cache_options = {});
+
+  /// Serves one request on the calling thread.
+  [[nodiscard]] SolveResponse solve(const Instance& instance);
+
+  /// Serves a batch on a thread pool (runtime::solve_many sharding).
+  /// Responses are in request order, and every payload (packing, peak,
+  /// winner) is bit-identical to serving that request alone; duplicate
+  /// requests inside the batch collapse onto one computation via
+  /// single-flight, which is visible only in the `outcome` fields.
+  [[nodiscard]] std::vector<SolveResponse> solve_many(
+      const std::vector<Instance>& instances);
+
+  /// Streaming batch serve (runtime::solve_many_stream semantics): one
+  /// ServeEvent per request in completion order, exception slots on worker
+  /// failure, `sink` closed on every path; the returned vector is request
+  /// order and identical to solve_many's.
+  [[nodiscard]] std::vector<SolveResponse> solve_many_stream(
+      const std::vector<Instance>& instances, runtime::Channel<ServeEvent>& sink);
+
+  [[nodiscard]] const ServeParams& params() const { return params_; }
+  [[nodiscard]] std::uint64_t fingerprint() const { return fingerprint_; }
+  [[nodiscard]] CacheStats stats() const { return cache_.stats(); }
+
+ private:
+  [[nodiscard]] CachedSolve compute_canonical(const Instance& canonical) const;
+
+  ServeParams params_;
+  std::uint64_t fingerprint_;
+  SolveCache cache_;
+};
+
+}  // namespace dsp::service

@@ -1,0 +1,122 @@
+#include "service/canonical.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+#include "util/prng.hpp"
+
+namespace dsp::service {
+
+namespace {
+
+/// The canonical item order: by width, then height, then original position
+/// (the stable tie-break that makes the permutation deterministic).
+[[nodiscard]] std::vector<std::size_t> sorted_order(
+    std::span<const Item> items) {
+  std::vector<std::size_t> order(items.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&items](std::size_t a, std::size_t b) {
+              if (items[a].width != items[b].width) {
+                return items[a].width < items[b].width;
+              }
+              if (items[a].height != items[b].height) {
+                return items[a].height < items[b].height;
+              }
+              return a < b;
+            });
+  return order;
+}
+
+[[nodiscard]] CanonicalForm canonicalize_items(Length strip_width,
+                                               std::span<const Item> items) {
+  std::vector<std::size_t> order = sorted_order(items);
+  std::vector<Item> sorted;
+  sorted.reserve(items.size());
+  for (const std::size_t index : order) sorted.push_back(items[index]);
+  return CanonicalForm{Instance(strip_width, std::move(sorted)),
+                       std::move(order)};
+}
+
+}  // namespace
+
+std::string Hash128::hex() const {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    out[static_cast<std::size_t>(i)] = kDigits[(hi >> (60 - 4 * i)) & 0xf];
+    out[static_cast<std::size_t>(16 + i)] = kDigits[(lo >> (60 - 4 * i)) & 0xf];
+  }
+  return out;
+}
+
+void ContentHasher::absorb(std::uint64_t word) {
+  // Each lane folds the word in under a different salt before the SplitMix64
+  // finalizer; the lanes never see the same pre-mix value, so they stay
+  // independent across any absorb sequence.
+  hi_ = Rng::mix_seed(hi_ ^ word);
+  lo_ = Rng::mix_seed(lo_ + (word ^ 0x9e3779b97f4a7c15ull));
+  ++words_;
+}
+
+Hash128 ContentHasher::digest() const {
+  // Length-extension guard: the word count is folded in at the end, so
+  // absorbing {a} never collides with {a, 0}.
+  Hash128 digest;
+  digest.hi = Rng::mix_seed(hi_ ^ Rng::mix_seed(words_));
+  digest.lo = Rng::mix_seed(lo_ + Rng::mix_seed(~words_));
+  return digest;
+}
+
+std::uint64_t ContentHasher::digest64() const {
+  const Hash128 full = digest();
+  return full.hi ^ Rng::mix_seed(full.lo);
+}
+
+CanonicalForm canonicalize(const Instance& instance) {
+  return canonicalize_items(instance.strip_width(), instance.items());
+}
+
+CanonicalForm canonicalize(const WireInstance& instance) {
+  return canonicalize(instance.to_instance());
+}
+
+Hash128 canonical_hash(const Instance& instance) {
+  // Hash the sorted (width, height) stream directly — building the full
+  // CanonicalForm (and a second Instance) is not needed for the digest.
+  std::vector<std::size_t> order = sorted_order(instance.items());
+  ContentHasher hasher;
+  hasher.absorb_signed(instance.strip_width());
+  hasher.absorb(instance.size());
+  for (const std::size_t index : order) {
+    hasher.absorb_signed(instance.item(index).width);
+    hasher.absorb_signed(instance.item(index).height);
+  }
+  return hasher.digest();
+}
+
+Hash128 canonical_hash(const WireInstance& instance) {
+  return canonical_hash(instance.to_instance());
+}
+
+std::uint64_t canonical_hash64(const Instance& instance) {
+  return canonical_hash(instance).lo;
+}
+
+Packing restore_item_order(const CanonicalForm& form,
+                           const Packing& canonical_packing) {
+  DSP_REQUIRE(canonical_packing.start.size() == form.original_index.size(),
+              "canonical packing has " << canonical_packing.start.size()
+                                       << " starts for "
+                                       << form.original_index.size()
+                                       << " items");
+  Packing restored;
+  restored.start.resize(canonical_packing.start.size());
+  for (std::size_t p = 0; p < canonical_packing.start.size(); ++p) {
+    restored.start[form.original_index[p]] = canonical_packing.start[p];
+  }
+  return restored;
+}
+
+}  // namespace dsp::service

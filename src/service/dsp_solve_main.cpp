@@ -1,0 +1,259 @@
+// dsp_solve — the serving layer's executable front door (DESIGN.md, "The
+// serving layer").
+//
+// Reads instance files (binary or JSON wire format, auto-detected) or whole
+// directories of them, serves every request through the canonicalizing
+// single-flight solve cache, and emits one JSON line per answer plus a
+// summary line with the cache counters — the same flat-row shape the bench
+// harnesses print (util/json_row.hpp), so the same scrapers work on both.
+//
+//   dsp_solve [flags] <file-or-directory>...
+//     --engine portfolio|solve54   pipeline to serve with (default portfolio)
+//     --backend auto|dense|sparse  profile backend (default auto)
+//     --threads N                  batch fan-out workers (default hardware)
+//     --cache-mb M                 solve-cache budget in MiB (default 64)
+//     --repeat R                   serve the request list R times (default 1;
+//                                  repeats after the first hit the cache)
+//     --no-cache                   bypass the cache (responses identical)
+//     --emit-corpus DIR            write the golden gen corpus to DIR and exit
+//
+// Exit status: 0 on success, 1 on usage errors, 2 on load/solve failures.
+
+#include <algorithm>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/bounds.hpp"
+#include "gen/corpus.hpp"
+#include "service/cache.hpp"
+#include "service/wire.hpp"
+#include "util/check.hpp"
+#include "util/json_row.hpp"
+
+namespace {
+
+using namespace dsp;
+
+struct CliOptions {
+  service::ServeParams serve;
+  std::size_t cache_mb = 64;
+  std::size_t repeat = 1;
+  std::string emit_corpus_dir;
+  std::vector<std::string> paths;
+};
+
+void print_usage(std::ostream& os) {
+  os << "usage: dsp_solve [--engine portfolio|solve54] [--backend "
+        "auto|dense|sparse]\n"
+        "                 [--threads N] [--cache-mb M] [--repeat R] "
+        "[--no-cache]\n"
+        "                 [--emit-corpus DIR] <file-or-directory>...\n";
+}
+
+[[nodiscard]] std::string outcome_name(service::CacheOutcome outcome) {
+  switch (outcome) {
+    case service::CacheOutcome::kHit: return "hit";
+    case service::CacheOutcome::kJoined: return "join";
+    case service::CacheOutcome::kMiss: break;
+  }
+  return "miss";
+}
+
+/// Parses a nonnegative integer flag value; exits with usage on garbage.
+[[nodiscard]] std::size_t parse_count(const std::string& flag,
+                                      const std::string& value) {
+  try {
+    const long long parsed = std::stoll(value);
+    DSP_REQUIRE(parsed >= 0, flag << " must be >= 0");
+    return static_cast<std::size_t>(parsed);
+  } catch (const std::exception&) {
+    std::cerr << "dsp_solve: bad value for " << flag << ": " << value << "\n";
+    print_usage(std::cerr);
+    std::exit(1);
+  }
+}
+
+[[nodiscard]] CliOptions parse_args(int argc, char** argv) {
+  CliOptions options;
+  const auto next_value = [&](int& i, const std::string& flag) {
+    if (i + 1 >= argc) {
+      std::cerr << "dsp_solve: " << flag << " needs a value\n";
+      print_usage(std::cerr);
+      std::exit(1);
+    }
+    return std::string(argv[++i]);
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout);
+      std::exit(0);
+    } else if (arg == "--engine") {
+      const std::string value = next_value(i, arg);
+      if (value == "portfolio") {
+        options.serve.engine = service::ServeEngine::kPortfolio;
+      } else if (value == "solve54") {
+        options.serve.engine = service::ServeEngine::kSolve54;
+      } else {
+        std::cerr << "dsp_solve: unknown engine " << value << "\n";
+        std::exit(1);
+      }
+    } else if (arg == "--backend") {
+      const std::string value = next_value(i, arg);
+      if (value == "auto") {
+        options.serve.backend = ProfileBackendKind::kAuto;
+      } else if (value == "dense") {
+        options.serve.backend = ProfileBackendKind::kDense;
+      } else if (value == "sparse") {
+        options.serve.backend = ProfileBackendKind::kSparse;
+      } else {
+        std::cerr << "dsp_solve: unknown backend " << value << "\n";
+        std::exit(1);
+      }
+    } else if (arg == "--threads") {
+      options.serve.threads = parse_count(arg, next_value(i, arg));
+    } else if (arg == "--cache-mb") {
+      options.cache_mb = parse_count(arg, next_value(i, arg));
+    } else if (arg == "--repeat") {
+      options.repeat = std::max<std::size_t>(1, parse_count(arg, next_value(i, arg)));
+    } else if (arg == "--no-cache") {
+      options.serve.bypass_cache = true;
+    } else if (arg == "--emit-corpus") {
+      options.emit_corpus_dir = next_value(i, arg);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "dsp_solve: unknown flag " << arg << "\n";
+      print_usage(std::cerr);
+      std::exit(1);
+    } else {
+      options.paths.push_back(arg);
+    }
+  }
+  return options;
+}
+
+int emit_corpus(const std::string& dir) {
+  std::filesystem::create_directories(dir);
+  for (const gen::GoldenInstance& golden : gen::golden_corpus()) {
+    const std::string path = dir + "/" + golden.name + ".json";
+    service::save_instance_file(
+        path,
+        service::WireInstance::from_instance(golden.instance, golden.name),
+        service::WireFormat::kJson);
+    std::cout << path << ": " << golden.instance.summary() << "\n";
+  }
+  return 0;
+}
+
+/// Expands files and directories into the served file list.  Directories
+/// contribute their *.json / *.dspi entries in sorted order, so runs are
+/// reproducible regardless of readdir order.
+[[nodiscard]] std::vector<std::string> expand_paths(
+    const std::vector<std::string>& paths) {
+  std::vector<std::string> files;
+  for (const std::string& path : paths) {
+    if (std::filesystem::is_directory(path)) {
+      std::vector<std::string> entries;
+      for (const auto& entry : std::filesystem::directory_iterator(path)) {
+        if (!entry.is_regular_file()) continue;
+        const std::string extension = entry.path().extension().string();
+        if (extension == ".json" || extension == ".dspi") {
+          entries.push_back(entry.path().string());
+        }
+      }
+      std::sort(entries.begin(), entries.end());
+      files.insert(files.end(), entries.begin(), entries.end());
+    } else {
+      files.push_back(path);
+    }
+  }
+  return files;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions options = parse_args(argc, argv);
+  if (!options.emit_corpus_dir.empty()) {
+    return emit_corpus(options.emit_corpus_dir);
+  }
+  if (options.paths.empty()) {
+    std::cerr << "dsp_solve: no instance files given\n";
+    print_usage(std::cerr);
+    return 1;
+  }
+
+  const std::vector<std::string> files = expand_paths(options.paths);
+  if (files.empty()) {
+    std::cerr << "dsp_solve: no *.json / *.dspi files found\n";
+    return 1;
+  }
+
+  try {
+    // Load once, serve --repeat times: the repeat axis is what shows the
+    // cache working (every pass after the first is all hits).  Per-file
+    // work (instance construction, the lower bound printed per row) runs
+    // once, not once per repeat.
+    std::vector<service::WireInstance> wires;
+    std::vector<Instance> file_instances;
+    std::vector<Height> file_lower_bounds;
+    wires.reserve(files.size());
+    for (const std::string& file : files) {
+      wires.push_back(service::load_instance_file(file));
+      file_instances.push_back(wires.back().to_instance());
+      file_lower_bounds.push_back(combined_lower_bound(file_instances.back()));
+    }
+    std::vector<Instance> batch;
+    std::vector<std::size_t> file_of_request;
+    for (std::size_t pass = 0; pass < options.repeat; ++pass) {
+      for (std::size_t f = 0; f < wires.size(); ++f) {
+        batch.push_back(file_instances[f]);
+        file_of_request.push_back(f);
+      }
+    }
+
+    service::CachingSolver solver(
+        options.serve,
+        service::CacheOptions{options.cache_mb << 20, /*shards=*/8});
+    const std::vector<service::SolveResponse> responses =
+        solver.solve_many(batch);
+
+    for (std::size_t r = 0; r < responses.size(); ++r) {
+      const service::WireInstance& wire = wires[file_of_request[r]];
+      const service::SolveResponse& response = responses[r];
+      JsonRow()
+          .field("file", files[file_of_request[r]])
+          .field("name", wire.name)
+          .field("n", wire.items.size())
+          .field("W", wire.strip_width)
+          .field("engine", std::string(service::to_string(
+                               solver.params().engine)))
+          .field("lb", file_lower_bounds[file_of_request[r]])
+          .field("peak", response.peak)
+          .field("winner", response.winner)
+          .field("cache", outcome_name(response.outcome))
+          .print(std::cout);
+    }
+    const service::CacheStats stats = solver.stats();
+    JsonRow()
+        .field("summary", "dsp_solve")
+        .field("requests", responses.size())
+        .field("files", files.size())
+        .field("repeat", options.repeat)
+        .field("hits", stats.hits)
+        .field("misses", stats.misses)
+        .field("inflight_joins", stats.inflight_joins)
+        .field("evictions", stats.evictions)
+        .field("entries", stats.entries)
+        .field("cache_mb", options.cache_mb)
+        .print(std::cout);
+  } catch (const dsp::InvalidInput& error) {
+    std::cerr << "dsp_solve: " << error.what() << "\n";
+    return 2;
+  } catch (const std::exception& error) {
+    std::cerr << "dsp_solve: " << error.what() << "\n";
+    return 2;
+  }
+  return 0;
+}

@@ -1,0 +1,924 @@
+#include "service/wire.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cctype>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace dsp::service {
+
+namespace {
+
+constexpr std::array<char, 4> kMagic = {'D', 'S', 'P', 'W'};
+
+enum class RecordTag : std::uint8_t {
+  kInstance = 1,
+  kPacking = 2,
+  kReport = 3,
+};
+
+[[nodiscard]] std::string_view record_name(RecordTag tag) {
+  switch (tag) {
+    case RecordTag::kInstance: return "instance";
+    case RecordTag::kPacking: return "packing";
+    case RecordTag::kReport: return "approx54_report";
+  }
+  return "?";
+}
+
+[[nodiscard]] std::string_view engine_name(approx::ConfigLpEngine engine) {
+  return engine == approx::ConfigLpEngine::kDenseEnumeration
+             ? "dense_enumeration"
+             : "column_generation";
+}
+
+// ---------------------------------------------------------------------------
+// Binary encoding: little-endian fixed-width integers, length-prefixed
+// strings.  The writer appends to a growing buffer; the reader walks a fully
+// slurped buffer and reports the byte offset of every failure.
+// ---------------------------------------------------------------------------
+
+class BinaryWriter {
+ public:
+  void u8(std::uint8_t value) { out_.push_back(static_cast<char>(value)); }
+  void u32(std::uint32_t value) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      out_.push_back(static_cast<char>((value >> shift) & 0xff));
+    }
+  }
+  void u64(std::uint64_t value) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      out_.push_back(static_cast<char>((value >> shift) & 0xff));
+    }
+  }
+  void i64(std::int64_t value) { u64(std::bit_cast<std::uint64_t>(value)); }
+  void boolean(bool value) { u8(value ? 1 : 0); }
+  void str(const std::string& value) {
+    DSP_REQUIRE(value.size() <= std::numeric_limits<std::uint32_t>::max(),
+                "wire string too long: " << value.size() << " bytes");
+    u32(static_cast<std::uint32_t>(value.size()));
+    out_.append(value);
+  }
+  void header(RecordTag tag) {
+    out_.append(kMagic.data(), kMagic.size());
+    u8(kWireVersion);
+    u8(static_cast<std::uint8_t>(tag));
+  }
+
+  [[nodiscard]] const std::string& bytes() const { return out_; }
+
+ private:
+  std::string out_;
+};
+
+class BinaryReader {
+ public:
+  BinaryReader(std::string bytes, std::string source)
+      : bytes_(std::move(bytes)), source_(std::move(source)) {}
+
+  [[nodiscard]] std::size_t offset() const { return offset_; }
+
+  [[noreturn]] void fail(const std::string& what,
+                         std::size_t at_offset) const {
+    throw InvalidInput(source_ + ": " + what + " (offset " +
+                       std::to_string(at_offset) + ")");
+  }
+  [[noreturn]] void fail(const std::string& what) const { fail(what, offset_); }
+
+  std::uint8_t u8() {
+    need(1, "u8");
+    return static_cast<std::uint8_t>(bytes_[offset_++]);
+  }
+  std::uint32_t u32() {
+    need(4, "u32");
+    std::uint32_t value = 0;
+    for (int shift = 0; shift < 32; shift += 8) {
+      value |= static_cast<std::uint32_t>(
+                   static_cast<std::uint8_t>(bytes_[offset_++]))
+               << shift;
+    }
+    return value;
+  }
+  std::uint64_t u64() {
+    need(8, "u64");
+    std::uint64_t value = 0;
+    for (int shift = 0; shift < 64; shift += 8) {
+      value |= static_cast<std::uint64_t>(
+                   static_cast<std::uint8_t>(bytes_[offset_++]))
+               << shift;
+    }
+    return value;
+  }
+  std::int64_t i64() { return std::bit_cast<std::int64_t>(u64()); }
+  bool boolean() {
+    const std::uint8_t value = u8();
+    if (value > 1) fail("boolean byte must be 0 or 1", offset_ - 1);
+    return value == 1;
+  }
+  std::string str() {
+    const std::uint32_t length = u32();
+    need(length, "string body");
+    std::string value = bytes_.substr(offset_, length);
+    offset_ += length;
+    return value;
+  }
+  /// Checked element count for a following array of `element_bytes`-sized
+  /// records: a corrupt huge count fails here instead of as a bad_alloc.
+  std::size_t count(std::size_t element_bytes) {
+    const std::size_t at = offset_;
+    const std::uint64_t value = u64();
+    if (element_bytes > 0 &&
+        value > (bytes_.size() - offset_) / element_bytes) {
+      fail("element count " + std::to_string(value) +
+               " exceeds the remaining payload",
+           at);
+    }
+    return static_cast<std::size_t>(value);
+  }
+  void header(RecordTag want) {
+    need(kMagic.size(), "magic");
+    if (std::memcmp(bytes_.data(), kMagic.data(), kMagic.size()) != 0) {
+      fail("bad magic (not a DSPW binary record)", 0);
+    }
+    offset_ += kMagic.size();
+    const std::uint8_t version = u8();
+    if (version != kWireVersion) {
+      fail("unsupported wire version " + std::to_string(version) +
+               " (this build reads version " + std::to_string(kWireVersion) +
+               ")",
+           offset_ - 1);
+    }
+    const std::uint8_t tag = u8();
+    if (tag != static_cast<std::uint8_t>(want)) {
+      fail("record tag " + std::to_string(tag) + " is not a " +
+               std::string(record_name(want)) + " record",
+           offset_ - 1);
+    }
+  }
+  void done() {
+    if (offset_ != bytes_.size()) {
+      fail(std::to_string(bytes_.size() - offset_) +
+           " trailing bytes after the record");
+    }
+  }
+
+ private:
+  void need(std::size_t count, const char* what) {
+    if (bytes_.size() - offset_ < count) {
+      fail(std::string("truncated record while reading ") + what);
+    }
+  }
+
+  std::string bytes_;
+  std::string source_;
+  std::size_t offset_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// JSON encoding.  The writer emits a compact object (instances put one item
+// per line so corpus diffs stay reviewable); the parser is a minimal
+// recursive-descent reader for exactly the grammar the writer uses —
+// objects, arrays, strings, 64-bit integers, true/false — tracking byte
+// offsets for error messages.
+// ---------------------------------------------------------------------------
+
+void write_json_string(std::ostream& os, const std::string& value) {
+  os << '"';
+  for (const char c : value) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          os << "\\u00" << kHex[(c >> 4) & 0xf] << kHex[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+class JsonParser {
+ public:
+  JsonParser(std::string text, std::string source)
+      : text_(std::move(text)), source_(std::move(source)) {}
+
+  [[noreturn]] void fail(const std::string& what,
+                         std::size_t at_offset) const {
+    throw InvalidInput(source_ + ": " + what + " (offset " +
+                       std::to_string(at_offset) + ")");
+  }
+  [[noreturn]] void fail(const std::string& what) const { fail(what, offset_); }
+
+  void skip_ws() {
+    while (offset_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[offset_]))) {
+      ++offset_;
+    }
+  }
+  [[nodiscard]] std::size_t offset_after_ws() {
+    skip_ws();
+    return offset_;
+  }
+  [[nodiscard]] char peek() {
+    skip_ws();
+    if (offset_ >= text_.size()) fail("unexpected end of input");
+    return text_[offset_];
+  }
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "', got '" + text_[offset_] + "'");
+    }
+    ++offset_;
+  }
+  /// True (and consumes) if the next token is `c`.
+  bool accept(char c) {
+    if (offset_ < text_.size() && peek() == c) {
+      ++offset_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::string parse_string() {
+    expect('"');
+    std::string value;
+    while (true) {
+      if (offset_ >= text_.size()) fail("unterminated string");
+      const char c = text_[offset_++];
+      if (c == '"') return value;
+      if (c != '\\') {
+        value.push_back(c);
+        continue;
+      }
+      if (offset_ >= text_.size()) fail("unterminated escape");
+      const char escape = text_[offset_++];
+      switch (escape) {
+        case '"': value.push_back('"'); break;
+        case '\\': value.push_back('\\'); break;
+        case '/': value.push_back('/'); break;
+        case 'b': value.push_back('\b'); break;
+        case 'f': value.push_back('\f'); break;
+        case 'n': value.push_back('\n'); break;
+        case 'r': value.push_back('\r'); break;
+        case 't': value.push_back('\t'); break;
+        case 'u': {
+          if (text_.size() - offset_ < 4) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[offset_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape digit", offset_ - 1);
+          }
+          if (code > 0x7f) {
+            fail("\\u escapes above 0x7f are not supported by this reader",
+                 offset_ - 6);
+          }
+          value.push_back(static_cast<char>(code));
+          break;
+        }
+        default: fail("unknown escape", offset_ - 1);
+      }
+    }
+  }
+
+  [[nodiscard]] std::int64_t parse_int() {
+    skip_ws();
+    const std::size_t start = offset_;
+    const bool negative = accept_raw('-');
+    if (offset_ >= text_.size() ||
+        !std::isdigit(static_cast<unsigned char>(text_[offset_]))) {
+      fail("expected an integer", start);
+    }
+    std::uint64_t magnitude = 0;
+    const std::uint64_t limit =
+        negative ? (std::uint64_t{1} << 63)
+                 : static_cast<std::uint64_t>(
+                       std::numeric_limits<std::int64_t>::max());
+    while (offset_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[offset_]))) {
+      const auto digit =
+          static_cast<std::uint64_t>(text_[offset_] - '0');
+      if (magnitude > (limit - digit) / 10) {
+        fail("integer does not fit in 64 bits", start);
+      }
+      magnitude = magnitude * 10 + digit;
+      ++offset_;
+    }
+    if (negative) {
+      return magnitude == (std::uint64_t{1} << 63)
+                 ? std::numeric_limits<std::int64_t>::min()
+                 : -static_cast<std::int64_t>(magnitude);
+    }
+    return static_cast<std::int64_t>(magnitude);
+  }
+
+  [[nodiscard]] bool parse_bool() {
+    skip_ws();
+    if (text_.compare(offset_, 4, "true") == 0) {
+      offset_ += 4;
+      return true;
+    }
+    if (text_.compare(offset_, 5, "false") == 0) {
+      offset_ += 5;
+      return false;
+    }
+    fail("expected true or false");
+  }
+
+  void done() {
+    skip_ws();
+    if (offset_ != text_.size()) fail("trailing content after the record");
+  }
+
+  /// Drives `{ "key": <value read by on_key> , ... }`.  `on_key` must
+  /// consume exactly one value; unknown keys fail.
+  template <typename OnKey>
+  void parse_object(OnKey&& on_key) {
+    expect('{');
+    if (accept('}')) return;
+    while (true) {
+      const std::size_t key_offset = offset_after_ws();
+      const std::string key = parse_string();
+      expect(':');
+      on_key(key, key_offset);
+      if (accept(',')) continue;
+      expect('}');
+      return;
+    }
+  }
+
+  /// Drives `[ <element read by on_element> , ... ]`.
+  template <typename OnElement>
+  void parse_array(OnElement&& on_element) {
+    expect('[');
+    if (accept(']')) return;
+    std::size_t index = 0;
+    while (true) {
+      on_element(index++, offset_after_ws());
+      if (accept(',')) continue;
+      expect(']');
+      return;
+    }
+  }
+
+ private:
+  bool accept_raw(char c) {
+    if (offset_ < text_.size() && text_[offset_] == c) {
+      ++offset_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string text_;
+  std::string source_;
+  std::size_t offset_ = 0;
+};
+
+/// Reads the `"dsp"` / `"version"` envelope values every JSON record
+/// carries; call once per record with the values collected by the key loop.
+void check_json_envelope(const JsonParser& parser, RecordTag want,
+                         const std::string& record_type, bool saw_type,
+                         std::int64_t version, bool saw_version) {
+  if (!saw_type) parser.fail("missing \"dsp\" record-type key", 0);
+  if (record_type != record_name(want)) {
+    parser.fail("record type \"" + record_type + "\" is not a " +
+                    std::string(record_name(want)) + " record",
+                0);
+  }
+  if (!saw_version) parser.fail("missing \"version\" key", 0);
+  if (version != kWireVersion) {
+    parser.fail("unsupported wire version " + std::to_string(version) +
+                    " (this build reads version " +
+                    std::to_string(kWireVersion) + ")",
+                0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Ingest validation, shared by both decoders.  `item_offsets[i]` is the byte
+// offset where item i's record starts in the parsed input.
+// ---------------------------------------------------------------------------
+
+void validate_wire_instance(const WireInstance& instance,
+                            const std::vector<std::size_t>& item_offsets,
+                            const std::string& source) {
+  const auto reject = [&](std::size_t index, const std::string& what) {
+    std::ostringstream oss;
+    oss << source << ": item " << index << " (id "
+        << instance.items[index].id << ", offset " << item_offsets[index]
+        << "): " << what;
+    throw InvalidInput(oss.str());
+  };
+  DSP_REQUIRE(!instance.items.empty(),
+              source << ": instance has no items (empty instances are not "
+                        "servable)");
+  DSP_REQUIRE(instance.strip_width >= 1,
+              source << ": strip width " << instance.strip_width
+                     << " must be >= 1");
+  std::unordered_map<std::int64_t, std::size_t> first_index;
+  for (std::size_t i = 0; i < instance.items.size(); ++i) {
+    const WireItem& item = instance.items[i];
+    if (item.width < 1) {
+      reject(i, "width " + std::to_string(item.width) + " is not positive");
+    }
+    if (item.height < 1) {
+      reject(i, "height " + std::to_string(item.height) + " is not positive");
+    }
+    if (item.width > instance.strip_width) {
+      reject(i, "width " + std::to_string(item.width) +
+                    " exceeds the strip width " +
+                    std::to_string(instance.strip_width));
+    }
+    const auto [it, inserted] = first_index.emplace(item.id, i);
+    if (!inserted) {
+      reject(i, "duplicate id (first used by item " +
+                    std::to_string(it->second) + ")");
+    }
+  }
+}
+
+[[nodiscard]] std::string slurp(std::istream& is, const std::string& source) {
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  DSP_REQUIRE(!is.bad(), source << ": stream read failed");
+  return std::move(buffer).str();
+}
+
+[[nodiscard]] bool looks_binary(const std::string& bytes) {
+  return bytes.size() >= kMagic.size() &&
+         std::memcmp(bytes.data(), kMagic.data(), kMagic.size()) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Instance codec.
+// ---------------------------------------------------------------------------
+
+void save_instance_binary(std::ostream& os, const WireInstance& instance) {
+  BinaryWriter writer;
+  writer.header(RecordTag::kInstance);
+  writer.str(instance.name);
+  writer.i64(instance.strip_width);
+  writer.u64(instance.items.size());
+  for (const WireItem& item : instance.items) {
+    writer.i64(item.id);
+    writer.i64(item.width);
+    writer.i64(item.height);
+    writer.str(item.label);
+  }
+  os << writer.bytes();
+}
+
+void save_instance_json(std::ostream& os, const WireInstance& instance) {
+  os << "{\"dsp\":\"instance\",\"version\":" << int{kWireVersion}
+     << ",\"name\":";
+  write_json_string(os, instance.name);
+  os << ",\"strip_width\":" << instance.strip_width << ",\"items\":[";
+  for (std::size_t i = 0; i < instance.items.size(); ++i) {
+    const WireItem& item = instance.items[i];
+    os << (i == 0 ? "\n" : ",\n") << "  {\"id\":" << item.id
+       << ",\"width\":" << item.width << ",\"height\":" << item.height;
+    if (!item.label.empty()) {
+      os << ",\"label\":";
+      write_json_string(os, item.label);
+    }
+    os << '}';
+  }
+  os << "\n]}\n";
+}
+
+[[nodiscard]] WireInstance load_instance_binary(std::string bytes,
+                                                const std::string& source) {
+  BinaryReader reader(std::move(bytes), source);
+  reader.header(RecordTag::kInstance);
+  WireInstance instance;
+  instance.name = reader.str();
+  instance.strip_width = reader.i64();
+  // An item is at least 3 x i64 + one empty string length.
+  const std::size_t count = reader.count(3 * 8 + 4);
+  std::vector<std::size_t> item_offsets;
+  item_offsets.reserve(count);
+  instance.items.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    item_offsets.push_back(reader.offset());
+    WireItem item;
+    item.id = reader.i64();
+    item.width = reader.i64();
+    item.height = reader.i64();
+    item.label = reader.str();
+    instance.items.push_back(std::move(item));
+  }
+  reader.done();
+  validate_wire_instance(instance, item_offsets, source);
+  return instance;
+}
+
+[[nodiscard]] WireInstance load_instance_json(std::string text,
+                                              const std::string& source) {
+  JsonParser parser(std::move(text), source);
+  WireInstance instance;
+  std::vector<std::size_t> item_offsets;
+  std::string record_type;
+  std::int64_t version = -1;
+  bool saw_type = false, saw_version = false, saw_items = false,
+       saw_width = false;
+  parser.parse_object([&](const std::string& key, std::size_t key_offset) {
+    if (key == "dsp") {
+      record_type = parser.parse_string();
+      saw_type = true;
+    } else if (key == "version") {
+      version = parser.parse_int();
+      saw_version = true;
+    } else if (key == "name") {
+      instance.name = parser.parse_string();
+    } else if (key == "strip_width") {
+      instance.strip_width = parser.parse_int();
+      saw_width = true;
+    } else if (key == "items") {
+      saw_items = true;
+      parser.parse_array([&](std::size_t, std::size_t element_offset) {
+        item_offsets.push_back(element_offset);
+        WireItem item;
+        bool saw_id = false, saw_w = false, saw_h = false;
+        parser.parse_object([&](const std::string& item_key,
+                                std::size_t item_key_offset) {
+          if (item_key == "id") {
+            item.id = parser.parse_int();
+            saw_id = true;
+          } else if (item_key == "width") {
+            item.width = parser.parse_int();
+            saw_w = true;
+          } else if (item_key == "height") {
+            item.height = parser.parse_int();
+            saw_h = true;
+          } else if (item_key == "label") {
+            item.label = parser.parse_string();
+          } else {
+            parser.fail("unknown item key \"" + item_key + "\"",
+                        item_key_offset);
+          }
+        });
+        if (!saw_id || !saw_w || !saw_h) {
+          parser.fail("item needs id, width and height", element_offset);
+        }
+        instance.items.push_back(std::move(item));
+      });
+    } else {
+      parser.fail("unknown instance key \"" + key + "\"", key_offset);
+    }
+  });
+  parser.done();
+  check_json_envelope(parser, RecordTag::kInstance, record_type, saw_type,
+                      version, saw_version);
+  if (!saw_width) parser.fail("missing \"strip_width\" key", 0);
+  if (!saw_items) parser.fail("missing \"items\" key", 0);
+  validate_wire_instance(instance, item_offsets, source);
+  return instance;
+}
+
+// ---------------------------------------------------------------------------
+// Packing codec.
+// ---------------------------------------------------------------------------
+
+void save_packing_binary(std::ostream& os, const Packing& packing) {
+  BinaryWriter writer;
+  writer.header(RecordTag::kPacking);
+  writer.u64(packing.start.size());
+  for (const Length start : packing.start) writer.i64(start);
+  os << writer.bytes();
+}
+
+void save_packing_json(std::ostream& os, const Packing& packing) {
+  os << "{\"dsp\":\"packing\",\"version\":" << int{kWireVersion}
+     << ",\"start\":[";
+  for (std::size_t i = 0; i < packing.start.size(); ++i) {
+    if (i > 0) os << ',';
+    os << packing.start[i];
+  }
+  os << "]}\n";
+}
+
+[[nodiscard]] Packing load_packing_binary(std::string bytes,
+                                          const std::string& source) {
+  BinaryReader reader(std::move(bytes), source);
+  reader.header(RecordTag::kPacking);
+  const std::size_t count = reader.count(8);
+  Packing packing;
+  packing.start.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) packing.start.push_back(reader.i64());
+  reader.done();
+  return packing;
+}
+
+[[nodiscard]] Packing load_packing_json(std::string text,
+                                        const std::string& source) {
+  JsonParser parser(std::move(text), source);
+  Packing packing;
+  std::string record_type;
+  std::int64_t version = -1;
+  bool saw_type = false, saw_version = false, saw_start = false;
+  parser.parse_object([&](const std::string& key, std::size_t key_offset) {
+    if (key == "dsp") {
+      record_type = parser.parse_string();
+      saw_type = true;
+    } else if (key == "version") {
+      version = parser.parse_int();
+      saw_version = true;
+    } else if (key == "start") {
+      saw_start = true;
+      parser.parse_array([&](std::size_t, std::size_t) {
+        packing.start.push_back(parser.parse_int());
+      });
+    } else {
+      parser.fail("unknown packing key \"" + key + "\"", key_offset);
+    }
+  });
+  parser.done();
+  check_json_envelope(parser, RecordTag::kPacking, record_type, saw_type,
+                      version, saw_version);
+  if (!saw_start) parser.fail("missing \"start\" key", 0);
+  return packing;
+}
+
+// ---------------------------------------------------------------------------
+// Approx54Report codec.  Field order is the struct's declaration order; the
+// JSON reader accepts keys in any order but requires every key (the writer
+// always emits all of them).
+// ---------------------------------------------------------------------------
+
+void save_report_binary(std::ostream& os, const approx::Approx54Report& r) {
+  BinaryWriter writer;
+  writer.header(RecordTag::kReport);
+  writer.i64(r.lower_bound);
+  writer.i64(r.upper_bound);
+  writer.i64(r.best_guess);
+  writer.i64(r.pipeline_peak);
+  writer.i64(r.final_peak);
+  writer.i64(r.delta.num());
+  writer.i64(r.delta.den());
+  writer.i64(r.mu.num());
+  writer.i64(r.mu.den());
+  for (const std::size_t count : r.count_per_category) writer.u64(count);
+  writer.i64(r.medium_area);
+  writer.boolean(r.lp_used);
+  writer.u8(static_cast<std::uint8_t>(r.lp_engine));
+  writer.u64(r.lp_configurations);
+  writer.u64(r.lp_pricing_rounds);
+  writer.boolean(r.lp_capped);
+  writer.u64(r.lp_overflow);
+  writer.u64(r.attempts);
+  writer.u64(r.rounds);
+  writer.i64(r.probe_parallelism);
+  writer.boolean(r.overlapped);
+  os << writer.bytes();
+}
+
+void save_report_json(std::ostream& os, const approx::Approx54Report& r) {
+  os << "{\"dsp\":\"approx54_report\",\"version\":" << int{kWireVersion}
+     << ",\"lower_bound\":" << r.lower_bound
+     << ",\"upper_bound\":" << r.upper_bound
+     << ",\"best_guess\":" << r.best_guess
+     << ",\"pipeline_peak\":" << r.pipeline_peak
+     << ",\"final_peak\":" << r.final_peak << ",\"delta\":[" << r.delta.num()
+     << ',' << r.delta.den() << "],\"mu\":[" << r.mu.num() << ','
+     << r.mu.den() << "],\"count_per_category\":[";
+  for (std::size_t i = 0; i < 7; ++i) {
+    if (i > 0) os << ',';
+    os << r.count_per_category[i];
+  }
+  os << "],\"medium_area\":" << r.medium_area << ",\"lp_used\":"
+     << (r.lp_used ? "true" : "false") << ",\"lp_engine\":\""
+     << engine_name(r.lp_engine)
+     << "\",\"lp_configurations\":" << r.lp_configurations
+     << ",\"lp_pricing_rounds\":" << r.lp_pricing_rounds << ",\"lp_capped\":"
+     << (r.lp_capped ? "true" : "false") << ",\"lp_overflow\":" << r.lp_overflow
+     << ",\"attempts\":" << r.attempts << ",\"rounds\":" << r.rounds
+     << ",\"probe_parallelism\":" << r.probe_parallelism << ",\"overlapped\":"
+     << (r.overlapped ? "true" : "false") << "}\n";
+}
+
+[[nodiscard]] approx::Approx54Report load_report_binary(
+    std::string bytes, const std::string& source) {
+  BinaryReader reader(std::move(bytes), source);
+  reader.header(RecordTag::kReport);
+  approx::Approx54Report r;
+  r.lower_bound = reader.i64();
+  r.upper_bound = reader.i64();
+  r.best_guess = reader.i64();
+  r.pipeline_peak = reader.i64();
+  r.final_peak = reader.i64();
+  const std::int64_t delta_num = reader.i64();
+  const std::int64_t delta_den = reader.i64();
+  r.delta = Fraction(delta_num, delta_den);
+  const std::int64_t mu_num = reader.i64();
+  const std::int64_t mu_den = reader.i64();
+  r.mu = Fraction(mu_num, mu_den);
+  for (std::size_t& count : r.count_per_category) {
+    count = static_cast<std::size_t>(reader.u64());
+  }
+  r.medium_area = reader.i64();
+  r.lp_used = reader.boolean();
+  const std::uint8_t engine = reader.u8();
+  if (engine > 1) reader.fail("unknown lp_engine tag");
+  r.lp_engine = static_cast<approx::ConfigLpEngine>(engine);
+  r.lp_configurations = static_cast<std::size_t>(reader.u64());
+  r.lp_pricing_rounds = static_cast<std::size_t>(reader.u64());
+  r.lp_capped = reader.boolean();
+  r.lp_overflow = static_cast<std::size_t>(reader.u64());
+  r.attempts = static_cast<std::size_t>(reader.u64());
+  r.rounds = static_cast<std::size_t>(reader.u64());
+  r.probe_parallelism = static_cast<int>(reader.i64());
+  r.overlapped = reader.boolean();
+  reader.done();
+  return r;
+}
+
+[[nodiscard]] approx::Approx54Report load_report_json(
+    std::string text, const std::string& source) {
+  JsonParser parser(std::move(text), source);
+  approx::Approx54Report r;
+  std::string record_type;
+  std::int64_t version = -1;
+  bool saw_type = false, saw_version = false;
+  std::unordered_map<std::string, bool> seen;
+  std::size_t categories_seen = 0;
+  const auto parse_fraction = [&parser]() {
+    std::int64_t num = 0, den = 1;
+    std::size_t seen = 0;
+    parser.parse_array([&](std::size_t index, std::size_t element_offset) {
+      if (index == 0) num = parser.parse_int();
+      else if (index == 1) den = parser.parse_int();
+      else parser.fail("fraction takes [num, den]", element_offset);
+      ++seen;
+    });
+    if (seen != 2) parser.fail("fraction takes [num, den]");
+    return Fraction(num, den);
+  };
+  parser.parse_object([&](const std::string& key, std::size_t key_offset) {
+    seen[key] = true;
+    if (key == "dsp") { record_type = parser.parse_string(); saw_type = true; }
+    else if (key == "version") { version = parser.parse_int(); saw_version = true; }
+    else if (key == "lower_bound") r.lower_bound = parser.parse_int();
+    else if (key == "upper_bound") r.upper_bound = parser.parse_int();
+    else if (key == "best_guess") r.best_guess = parser.parse_int();
+    else if (key == "pipeline_peak") r.pipeline_peak = parser.parse_int();
+    else if (key == "final_peak") r.final_peak = parser.parse_int();
+    else if (key == "delta") r.delta = parse_fraction();
+    else if (key == "mu") r.mu = parse_fraction();
+    else if (key == "count_per_category") {
+      parser.parse_array([&](std::size_t index, std::size_t element_offset) {
+        if (index >= 7) parser.fail("count_per_category has 7 slots", element_offset);
+        r.count_per_category[index] =
+            static_cast<std::size_t>(parser.parse_int());
+        ++categories_seen;
+      });
+    } else if (key == "medium_area") r.medium_area = parser.parse_int();
+    else if (key == "lp_used") r.lp_used = parser.parse_bool();
+    else if (key == "lp_engine") {
+      const std::string name = parser.parse_string();
+      if (name == "dense_enumeration") {
+        r.lp_engine = approx::ConfigLpEngine::kDenseEnumeration;
+      } else if (name == "column_generation") {
+        r.lp_engine = approx::ConfigLpEngine::kColumnGeneration;
+      } else {
+        parser.fail("unknown lp_engine \"" + name + "\"", key_offset);
+      }
+    } else if (key == "lp_configurations") {
+      r.lp_configurations = static_cast<std::size_t>(parser.parse_int());
+    } else if (key == "lp_pricing_rounds") {
+      r.lp_pricing_rounds = static_cast<std::size_t>(parser.parse_int());
+    } else if (key == "lp_capped") r.lp_capped = parser.parse_bool();
+    else if (key == "lp_overflow") {
+      r.lp_overflow = static_cast<std::size_t>(parser.parse_int());
+    } else if (key == "attempts") {
+      r.attempts = static_cast<std::size_t>(parser.parse_int());
+    } else if (key == "rounds") {
+      r.rounds = static_cast<std::size_t>(parser.parse_int());
+    } else if (key == "probe_parallelism") {
+      r.probe_parallelism = static_cast<int>(parser.parse_int());
+    } else if (key == "overlapped") r.overlapped = parser.parse_bool();
+    else parser.fail("unknown report key \"" + key + "\"", key_offset);
+  });
+  parser.done();
+  check_json_envelope(parser, RecordTag::kReport, record_type, saw_type,
+                      version, saw_version);
+  // Strict ingest, like the instance loader: a report with missing keys is
+  // a broken record, not a report of zeros.
+  static constexpr const char* kRequiredKeys[] = {
+      "lower_bound", "upper_bound", "best_guess", "pipeline_peak",
+      "final_peak", "delta", "mu", "count_per_category", "medium_area",
+      "lp_used", "lp_engine", "lp_configurations", "lp_pricing_rounds",
+      "lp_capped", "lp_overflow", "attempts", "rounds", "probe_parallelism",
+      "overlapped"};
+  for (const char* required : kRequiredKeys) {
+    if (!seen.contains(required)) {
+      parser.fail("missing report key \"" + std::string(required) + "\"", 0);
+    }
+  }
+  if (categories_seen != 7) {
+    parser.fail("count_per_category has " + std::to_string(categories_seen) +
+                    " of 7 slots",
+                0);
+  }
+  return r;
+}
+
+}  // namespace
+
+std::string_view to_string(WireFormat format) {
+  return format == WireFormat::kBinary ? "binary" : "json";
+}
+
+Instance WireInstance::to_instance() const {
+  std::vector<Item> core_items;
+  core_items.reserve(items.size());
+  for (const WireItem& item : items) {
+    core_items.push_back(Item{item.width, item.height});
+  }
+  return Instance(strip_width, std::move(core_items));
+}
+
+WireInstance WireInstance::from_instance(const Instance& instance,
+                                         std::string name) {
+  WireInstance wire;
+  wire.name = std::move(name);
+  wire.strip_width = instance.strip_width();
+  wire.items.reserve(instance.size());
+  for (std::size_t i = 0; i < instance.size(); ++i) {
+    wire.items.push_back(WireItem{static_cast<std::int64_t>(i),
+                                  instance.item(i).width,
+                                  instance.item(i).height, ""});
+  }
+  return wire;
+}
+
+void save_instance(std::ostream& os, const WireInstance& instance,
+                   WireFormat format) {
+  if (format == WireFormat::kBinary) save_instance_binary(os, instance);
+  else save_instance_json(os, instance);
+}
+
+WireInstance load_instance(std::istream& is, const std::string& source) {
+  std::string bytes = slurp(is, source);
+  return looks_binary(bytes) ? load_instance_binary(std::move(bytes), source)
+                             : load_instance_json(std::move(bytes), source);
+}
+
+void save_instance_file(const std::string& path, const WireInstance& instance,
+                        WireFormat format) {
+  std::ofstream os(path, std::ios::binary);
+  DSP_REQUIRE(os.good(), path << ": cannot open for writing");
+  save_instance(os, instance, format);
+  os.flush();
+  DSP_REQUIRE(os.good(), path << ": write failed");
+}
+
+WireInstance load_instance_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  DSP_REQUIRE(is.good(), path << ": cannot open for reading");
+  return load_instance(is, path);
+}
+
+void save_packing(std::ostream& os, const Packing& packing, WireFormat format) {
+  if (format == WireFormat::kBinary) save_packing_binary(os, packing);
+  else save_packing_json(os, packing);
+}
+
+Packing load_packing(std::istream& is, const std::string& source) {
+  std::string bytes = slurp(is, source);
+  return looks_binary(bytes) ? load_packing_binary(std::move(bytes), source)
+                             : load_packing_json(std::move(bytes), source);
+}
+
+void save_report(std::ostream& os, const approx::Approx54Report& report,
+                 WireFormat format) {
+  if (format == WireFormat::kBinary) save_report_binary(os, report);
+  else save_report_json(os, report);
+}
+
+approx::Approx54Report load_report(std::istream& is,
+                                   const std::string& source) {
+  std::string bytes = slurp(is, source);
+  return looks_binary(bytes) ? load_report_binary(std::move(bytes), source)
+                             : load_report_json(std::move(bytes), source);
+}
+
+}  // namespace dsp::service

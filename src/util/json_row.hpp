@@ -1,0 +1,79 @@
+#pragma once
+
+// Machine-readable row output shared by the bench harnesses
+// (bench/bench_common.hpp) and the dsp_solve serving CLI: one flat JSON
+// object per line, so downstream tooling can scrape runs without parsing
+// the human-facing tables.
+
+#include <iostream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace dsp {
+
+/// One flat JSON object, printed as a single line.  Keys appear in insertion
+/// order and must be plain identifiers (they are always caller literals);
+/// string values are escaped, so untrusted text (instance names, file
+/// paths) is safe to emit.
+class JsonRow {
+ public:
+  JsonRow& field(const std::string& key, const std::string& value) {
+    std::string quoted = "\"";
+    for (const char c : value) {
+      switch (c) {
+        case '"': quoted += "\\\""; break;
+        case '\\': quoted += "\\\\"; break;
+        case '\n': quoted += "\\n"; break;
+        case '\r': quoted += "\\r"; break;
+        case '\t': quoted += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            constexpr char kHex[] = "0123456789abcdef";
+            quoted += "\\u00";
+            quoted += kHex[(c >> 4) & 0xf];
+            quoted += kHex[c & 0xf];
+          } else {
+            quoted += c;
+          }
+      }
+    }
+    quoted += '"';
+    return raw(key, std::move(quoted));
+  }
+  JsonRow& field(const std::string& key, const char* value) {
+    return field(key, std::string(value));
+  }
+  template <typename T>
+    requires std::is_integral_v<T>
+  JsonRow& field(const std::string& key, T value) {
+    return raw(key, std::to_string(value));
+  }
+  JsonRow& field(const std::string& key, double value) {
+    std::ostringstream oss;
+    oss.precision(std::numeric_limits<double>::max_digits10);
+    oss << value;
+    return raw(key, oss.str());
+  }
+
+  void print(std::ostream& os) const {
+    os << '{';
+    for (std::size_t i = 0; i < parts_.size(); ++i) {
+      if (i > 0) os << ',';
+      os << parts_[i];
+    }
+    os << "}\n";
+  }
+
+ private:
+  JsonRow& raw(const std::string& key, std::string value) {
+    parts_.push_back('"' + key + "\":" + std::move(value));
+    return *this;
+  }
+
+  std::vector<std::string> parts_;
+};
+
+}  // namespace dsp

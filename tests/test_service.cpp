@@ -1,0 +1,500 @@
+// The serving layer's wire format and canonicalization: round-trip
+// guarantees across every generator family, ingest validation with
+// index/offset diagnostics, and the canonical-hash invariants the solve
+// cache's dedup correctness rests on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "approx/solve54.hpp"
+#include "gen/corpus.hpp"
+#include "gen/families.hpp"
+#include "gen/gap.hpp"
+#include "gen/hardness.hpp"
+#include "gen/smart_grid.hpp"
+#include "service/canonical.hpp"
+#include "service/wire.hpp"
+#include "util/check.hpp"
+#include "util/prng.hpp"
+
+namespace dsp::service {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared family list (mirrors tests/test_properties.cpp).
+// ---------------------------------------------------------------------------
+
+struct GenFamily {
+  const char* name;
+  Instance (*make)(Rng& rng);
+};
+
+Instance make_uniform(Rng& rng) { return gen::random_uniform(20, 32, 16, 8, rng); }
+Instance make_tall(Rng& rng) { return gen::tall_items(16, 32, 12, rng); }
+Instance make_wide(Rng& rng) { return gen::wide_items(14, 32, 6, rng); }
+Instance make_equal_width(Rng& rng) {
+  return gen::equal_width(18, 30, 5, 8, rng);
+}
+Instance make_correlated(Rng& rng) {
+  return gen::correlated(18, 32, 16, 8, rng);
+}
+Instance make_perfect(Rng& rng) { return gen::perfect_packing(16, 24, 12, rng); }
+Instance make_smart_grid(Rng& rng) { return gen::smart_grid(16, 96, rng); }
+Instance make_gap(Rng& rng) {
+  return gen::gap_instance_replicated(
+      static_cast<std::size_t>(rng.uniform(1, 3)));
+}
+Instance make_hardness(Rng& rng) {
+  return gen::planted_yes(2, 16, rng).instance;
+}
+
+const GenFamily kFamilies[] = {
+    {"uniform", make_uniform},       {"tall", make_tall},
+    {"wide", make_wide},             {"equal-width", make_equal_width},
+    {"correlated", make_correlated}, {"perfect", make_perfect},
+    {"smart-grid", make_smart_grid}, {"gap", make_gap},
+    {"hardness", make_hardness},
+};
+
+/// A wire instance with non-trivial ids and labels, so round trips exercise
+/// more than the from_instance defaults.
+WireInstance decorated(const Instance& instance, const std::string& name) {
+  WireInstance wire = WireInstance::from_instance(instance, name);
+  for (std::size_t i = 0; i < wire.items.size(); ++i) {
+    wire.items[i].id = static_cast<std::int64_t>(1000 + 7 * i);
+    wire.items[i].label = "item-" + std::to_string(i);
+  }
+  return wire;
+}
+
+WireInstance save_load(const WireInstance& wire, WireFormat format) {
+  std::ostringstream out;
+  save_instance(out, wire, format);
+  std::istringstream in(out.str());
+  return load_instance(in, "<test>");
+}
+
+// ---------------------------------------------------------------------------
+// Round trips.
+// ---------------------------------------------------------------------------
+
+class WireFamilyRoundTrip
+    : public ::testing::TestWithParam<std::tuple<GenFamily, int>> {};
+
+TEST_P(WireFamilyRoundTrip, BinaryAndJsonAreExact) {
+  const auto& [family, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 55441 + 3);
+  const Instance instance = family.make(rng);
+  const WireInstance wire = decorated(instance, family.name);
+  for (const WireFormat format : {WireFormat::kBinary, WireFormat::kJson}) {
+    const WireInstance loaded = save_load(wire, format);
+    EXPECT_EQ(loaded, wire) << family.name << " via " << to_string(format);
+    // The core instance reconstructs bit-exactly too (same order).
+    const Instance roundtripped = loaded.to_instance();
+    ASSERT_EQ(roundtripped.size(), instance.size());
+    EXPECT_EQ(roundtripped.strip_width(), instance.strip_width());
+    for (std::size_t i = 0; i < instance.size(); ++i) {
+      EXPECT_EQ(roundtripped.item(i), instance.item(i));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, WireFamilyRoundTrip,
+    ::testing::Combine(::testing::ValuesIn(kFamilies), ::testing::Range(0, 3)),
+    [](const auto& info) {
+      std::string name = std::get<0>(info.param).name;
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name + "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(WireInstanceTest, GoldenCorpusRoundTripsBothFormats) {
+  for (const gen::GoldenInstance& golden : gen::golden_corpus()) {
+    const WireInstance wire =
+        WireInstance::from_instance(golden.instance, golden.name);
+    EXPECT_EQ(save_load(wire, WireFormat::kBinary), wire) << golden.name;
+    EXPECT_EQ(save_load(wire, WireFormat::kJson), wire) << golden.name;
+  }
+}
+
+TEST(WireInstanceTest, JsonEscapesSurviveLabels) {
+  Instance instance(10, {Item{3, 2}, Item{4, 1}});
+  WireInstance wire = WireInstance::from_instance(instance, "esc\"ape\\name");
+  wire.items[0].label = "tab\there \"quoted\" back\\slash";
+  wire.items[1].label = std::string("nul-free ctrl:\x01", 15);
+  EXPECT_EQ(save_load(wire, WireFormat::kJson), wire);
+}
+
+TEST(WireInstanceTest, LoadAutoDetectsFormat) {
+  const WireInstance wire =
+      decorated(Instance(12, {Item{2, 3}, Item{5, 1}}), "auto");
+  for (const WireFormat format : {WireFormat::kBinary, WireFormat::kJson}) {
+    std::ostringstream out;
+    save_instance(out, wire, format);
+    std::istringstream in(out.str());
+    EXPECT_EQ(load_instance(in), wire) << to_string(format);
+  }
+}
+
+TEST(WirePackingTest, RoundTripsBothFormats) {
+  Packing packing;
+  packing.start = {0, 5, 12, 0, 7, 3};
+  for (const WireFormat format : {WireFormat::kBinary, WireFormat::kJson}) {
+    std::ostringstream out;
+    save_packing(out, packing, format);
+    std::istringstream in(out.str());
+    EXPECT_EQ(load_packing(in), packing) << to_string(format);
+  }
+}
+
+TEST(WirePackingTest, EmptyPackingRoundTrips) {
+  const Packing empty;
+  for (const WireFormat format : {WireFormat::kBinary, WireFormat::kJson}) {
+    std::ostringstream out;
+    save_packing(out, empty, format);
+    std::istringstream in(out.str());
+    EXPECT_EQ(load_packing(in), empty) << to_string(format);
+  }
+}
+
+TEST(WireReportTest, HandCraftedReportRoundTrips) {
+  approx::Approx54Report report;
+  report.lower_bound = 17;
+  report.upper_bound = 23;
+  report.best_guess = 19;
+  report.pipeline_peak = 21;
+  report.final_peak = 20;
+  report.delta = Fraction(1, 8);
+  report.mu = Fraction(3, 16);
+  for (std::size_t i = 0; i < 7; ++i) report.count_per_category[i] = 10 + i;
+  report.medium_area = -4;  // sign round trip
+  report.lp_used = true;
+  report.lp_engine = approx::ConfigLpEngine::kDenseEnumeration;
+  report.lp_configurations = 321;
+  report.lp_pricing_rounds = 12;
+  report.lp_capped = true;
+  report.lp_overflow = 2;
+  report.attempts = 9;
+  report.rounds = 5;
+  report.probe_parallelism = 3;
+  report.overlapped = true;
+  for (const WireFormat format : {WireFormat::kBinary, WireFormat::kJson}) {
+    std::ostringstream out;
+    save_report(out, report, format);
+    std::istringstream in(out.str());
+    const approx::Approx54Report loaded = load_report(in);
+    EXPECT_EQ(loaded.lower_bound, report.lower_bound);
+    EXPECT_EQ(loaded.upper_bound, report.upper_bound);
+    EXPECT_EQ(loaded.best_guess, report.best_guess);
+    EXPECT_EQ(loaded.pipeline_peak, report.pipeline_peak);
+    EXPECT_EQ(loaded.final_peak, report.final_peak);
+    EXPECT_EQ(loaded.delta, report.delta);
+    EXPECT_EQ(loaded.mu, report.mu);
+    for (std::size_t i = 0; i < 7; ++i) {
+      EXPECT_EQ(loaded.count_per_category[i], report.count_per_category[i]);
+    }
+    EXPECT_EQ(loaded.medium_area, report.medium_area);
+    EXPECT_EQ(loaded.lp_used, report.lp_used);
+    EXPECT_EQ(loaded.lp_engine, report.lp_engine);
+    EXPECT_EQ(loaded.lp_configurations, report.lp_configurations);
+    EXPECT_EQ(loaded.lp_pricing_rounds, report.lp_pricing_rounds);
+    EXPECT_EQ(loaded.lp_capped, report.lp_capped);
+    EXPECT_EQ(loaded.lp_overflow, report.lp_overflow);
+    EXPECT_EQ(loaded.attempts, report.attempts);
+    EXPECT_EQ(loaded.rounds, report.rounds);
+    EXPECT_EQ(loaded.probe_parallelism, report.probe_parallelism);
+    EXPECT_EQ(loaded.overlapped, report.overlapped);
+  }
+}
+
+TEST(WireReportTest, MissingReportKeysAreRejected) {
+  // Strict ingest: a report of implicit zeros is a broken record.
+  std::istringstream in("{\"dsp\":\"approx54_report\",\"version\":1}");
+  try {
+    (void)load_report(in, "cut.json");
+    FAIL() << "expected InvalidInput";
+  } catch (const InvalidInput& error) {
+    EXPECT_NE(std::string(error.what()).find("missing report key"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(WireReportTest, ShortCountPerCategoryIsRejected) {
+  approx::Approx54Report report;
+  std::ostringstream out;
+  save_report(out, report, WireFormat::kJson);
+  std::string text = out.str();
+  const std::string full = "\"count_per_category\":[0,0,0,0,0,0,0]";
+  const auto at = text.find(full);
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, full.size(), "\"count_per_category\":[0,0,0]");
+  std::istringstream in(text);
+  EXPECT_THROW((void)load_report(in, "short.json"), InvalidInput);
+}
+
+TEST(WireReportTest, RealSolve54ReportRoundTrips) {
+  Rng rng(99);
+  const Instance instance = gen::random_uniform(12, 24, 10, 6, rng);
+  const approx::Approx54Report report = approx::solve54(instance).report;
+  std::ostringstream out;
+  save_report(out, report, WireFormat::kJson);
+  std::istringstream in(out.str());
+  const approx::Approx54Report loaded = load_report(in);
+  EXPECT_EQ(loaded.final_peak, report.final_peak);
+  EXPECT_EQ(loaded.best_guess, report.best_guess);
+  EXPECT_EQ(loaded.delta, report.delta);
+  EXPECT_EQ(loaded.attempts, report.attempts);
+}
+
+// ---------------------------------------------------------------------------
+// Ingest validation.
+// ---------------------------------------------------------------------------
+
+/// Expects `load_instance` on the JSON serialization of `wire` to throw,
+/// with every `needle` present in the message.
+void expect_rejected(const WireInstance& wire,
+                     const std::vector<std::string>& needles) {
+  std::ostringstream out;
+  save_instance(out, wire, WireFormat::kJson);
+  std::istringstream in(out.str());
+  try {
+    (void)load_instance(in, "bad.json");
+    FAIL() << "expected InvalidInput";
+  } catch (const InvalidInput& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("bad.json"), std::string::npos) << message;
+    for (const std::string& needle : needles) {
+      EXPECT_NE(message.find(needle), std::string::npos)
+          << "missing \"" << needle << "\" in: " << message;
+    }
+  }
+}
+
+/// Expects `load_instance(in)` to throw InvalidInput containing `needle`.
+void expect_throw_contains(std::istringstream& in, const std::string& needle) {
+  try {
+    (void)load_instance(in, "bad.bin");
+    FAIL() << "expected InvalidInput";
+  } catch (const InvalidInput& error) {
+    EXPECT_NE(std::string(error.what()).find(needle), std::string::npos)
+        << "missing \"" << needle << "\" in: " << error.what();
+  }
+}
+
+TEST(WireValidationTest, RejectsNonpositiveWidth) {
+  WireInstance wire{"", 10, {{0, 3, 2, ""}, {1, 0, 2, ""}}};
+  expect_rejected(wire, {"item 1", "width 0", "offset"});
+}
+
+TEST(WireValidationTest, RejectsNonpositiveHeight) {
+  WireInstance wire{"", 10, {{0, 3, -2, ""}}};
+  expect_rejected(wire, {"item 0", "height -2", "offset"});
+}
+
+TEST(WireValidationTest, RejectsWidthBeyondStrip) {
+  WireInstance wire{"", 10, {{0, 3, 2, ""}, {1, 11, 2, ""}}};
+  expect_rejected(wire, {"item 1", "width 11", "strip width 10", "offset"});
+}
+
+TEST(WireValidationTest, RejectsDuplicateIds) {
+  WireInstance wire{"", 10, {{7, 3, 2, ""}, {8, 2, 2, ""}, {7, 1, 1, ""}}};
+  expect_rejected(wire, {"item 2", "duplicate id", "first used by item 0"});
+}
+
+TEST(WireValidationTest, RejectsEmptyInstance) {
+  WireInstance wire{"", 10, {}};
+  expect_rejected(wire, {"no items"});
+}
+
+TEST(WireValidationTest, ReportedOffsetPointsAtTheBadItem) {
+  WireInstance wire{"", 10, {{0, 3, 2, ""}, {1, 0, 2, ""}}};
+  std::ostringstream out;
+  save_instance(out, wire, WireFormat::kJson);
+  const std::string text = out.str();
+  try {
+    std::istringstream in(text);
+    (void)load_instance(in, "bad.json");
+    FAIL() << "expected InvalidInput";
+  } catch (const InvalidInput& error) {
+    // Parse the offset back out of the message and check the text there
+    // really is the second item's record.
+    const std::string message = error.what();
+    const auto at = message.find("offset ");
+    ASSERT_NE(at, std::string::npos) << message;
+    const std::size_t offset = std::stoul(message.substr(at + 7));
+    ASSERT_LT(offset, text.size());
+    EXPECT_EQ(text.compare(offset, 8, "{\"id\":1,"), 0)
+        << "offset " << offset << " points at: " << text.substr(offset, 20);
+  }
+}
+
+TEST(WireValidationTest, BinaryValidationMatchesJson) {
+  WireInstance wire{"", 10, {{0, 3, 2, ""}, {1, 0, 2, ""}}};
+  std::ostringstream out;
+  save_instance(out, wire, WireFormat::kBinary);
+  std::istringstream in(out.str());
+  EXPECT_THROW((void)load_instance(in, "bad.bin"), InvalidInput);
+}
+
+TEST(WireValidationTest, RejectsUnknownVersion) {
+  const WireInstance wire = decorated(Instance(8, {Item{2, 2}}), "v");
+  std::ostringstream out;
+  save_instance(out, wire, WireFormat::kBinary);
+  std::string bytes = out.str();
+  bytes[4] = 9;  // version byte follows the 4-byte magic
+  std::istringstream in(bytes);
+  expect_throw_contains(in, "unsupported wire version");
+}
+
+TEST(WireValidationTest, RejectsTruncatedBinary) {
+  const WireInstance wire = decorated(Instance(8, {Item{2, 2}, Item{3, 1}}), "t");
+  std::ostringstream out;
+  save_instance(out, wire, WireFormat::kBinary);
+  std::string bytes = out.str();
+  bytes.resize(bytes.size() - 5);
+  std::istringstream in(bytes);
+  expect_throw_contains(in, "truncated");
+}
+
+TEST(WireValidationTest, RejectsTrailingBytes) {
+  const WireInstance wire = decorated(Instance(8, {Item{2, 2}}), "t");
+  std::ostringstream out;
+  save_instance(out, wire, WireFormat::kBinary);
+  std::string bytes = out.str() + "xx";
+  std::istringstream in(bytes);
+  expect_throw_contains(in, "trailing");
+}
+
+TEST(WireValidationTest, RejectsMalformedJson) {
+  std::istringstream in("{\"dsp\":\"instance\",\"version\":1,");
+  EXPECT_THROW((void)load_instance(in, "cut.json"), InvalidInput);
+}
+
+TEST(WireValidationTest, RejectsWrongRecordType) {
+  Packing packing;
+  packing.start = {1, 2};
+  std::ostringstream out;
+  save_packing(out, packing, WireFormat::kJson);
+  std::istringstream in(out.str());
+  EXPECT_THROW((void)load_instance(in, "mix.json"), InvalidInput);
+}
+
+// ---------------------------------------------------------------------------
+// Canonical form and hashing.
+// ---------------------------------------------------------------------------
+
+TEST(CanonicalTest, SortsByWidthThenHeightStable) {
+  const Instance instance(10, {Item{5, 1}, Item{2, 9}, Item{2, 3}, Item{2, 3}});
+  const CanonicalForm form = canonicalize(instance);
+  ASSERT_EQ(form.instance.size(), 4u);
+  EXPECT_EQ(form.instance.item(0), (Item{2, 3}));
+  EXPECT_EQ(form.instance.item(1), (Item{2, 3}));
+  EXPECT_EQ(form.instance.item(2), (Item{2, 9}));
+  EXPECT_EQ(form.instance.item(3), (Item{5, 1}));
+  // Stable tie-break: the two equal items keep their original order.
+  EXPECT_EQ(form.original_index, (std::vector<std::size_t>{2, 3, 1, 0}));
+}
+
+class CanonicalHashInvariance
+    : public ::testing::TestWithParam<std::tuple<GenFamily, int>> {};
+
+TEST_P(CanonicalHashInvariance, PermutationAndRelabelingPreserveTheHash) {
+  const auto& [family, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 7919 + 31);
+  const Instance instance = family.make(rng);
+  const Hash128 reference = canonical_hash(instance);
+
+  // Permute items.
+  std::vector<Item> shuffled(instance.items().begin(), instance.items().end());
+  std::shuffle(shuffled.begin(), shuffled.end(), rng.engine());
+  const Instance permuted(instance.strip_width(), shuffled);
+  EXPECT_EQ(canonical_hash(permuted), reference) << family.name;
+
+  // Rename ids and labels on the wire (and permute again): still the hash.
+  WireInstance wire = WireInstance::from_instance(permuted, "renamed");
+  for (std::size_t i = 0; i < wire.items.size(); ++i) {
+    wire.items[i].id = static_cast<std::int64_t>(5000 - i);
+    wire.items[i].label = "relabeled-" + std::to_string(i * 3);
+  }
+  EXPECT_EQ(canonical_hash(wire), reference) << family.name;
+
+  // And the canonical instances themselves agree item by item.
+  const CanonicalForm a = canonicalize(instance);
+  const CanonicalForm b = canonicalize(permuted);
+  ASSERT_EQ(a.instance.size(), b.instance.size());
+  for (std::size_t i = 0; i < a.instance.size(); ++i) {
+    EXPECT_EQ(a.instance.item(i), b.instance.item(i)) << family.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, CanonicalHashInvariance,
+    ::testing::Combine(::testing::ValuesIn(kFamilies), ::testing::Range(0, 3)),
+    [](const auto& info) {
+      std::string name = std::get<0>(info.param).name;
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name + "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(CanonicalTest, HashSeparatesDifferentInstances) {
+  // Not a collision-resistance proof — just that the obvious near-misses
+  // (width change, height change, multiplicity change, strip change) all
+  // move the hash.
+  const Instance base(10, {Item{2, 3}, Item{4, 5}});
+  const Hash128 reference = canonical_hash(base);
+  EXPECT_NE(canonical_hash(Instance(10, {Item{2, 3}, Item{4, 6}})), reference);
+  EXPECT_NE(canonical_hash(Instance(10, {Item{3, 3}, Item{4, 5}})), reference);
+  EXPECT_NE(canonical_hash(Instance(10, {Item{2, 3}, Item{2, 3}, Item{4, 5}})),
+            reference);
+  EXPECT_NE(canonical_hash(Instance(11, {Item{2, 3}, Item{4, 5}})), reference);
+  EXPECT_NE(canonical_hash64(base),
+            canonical_hash64(Instance(10, {Item{2, 3}})));
+}
+
+TEST(CanonicalTest, HashHexIs32Digits) {
+  const Hash128 hash = canonical_hash(Instance(10, {Item{2, 3}}));
+  EXPECT_EQ(hash.hex().size(), 32u);
+  EXPECT_EQ(hash.hex().find_first_not_of("0123456789abcdef"),
+            std::string::npos);
+}
+
+TEST(CanonicalTest, RestoreItemOrderInvertsThePermutation) {
+  Rng rng(5);
+  const Instance instance = gen::random_uniform(24, 32, 16, 8, rng);
+  const CanonicalForm form = canonicalize(instance);
+  // A recognizable canonical packing: canonical item p starts at p, clamped
+  // into the strip.
+  Packing canonical_packing;
+  for (std::size_t p = 0; p < form.instance.size(); ++p) {
+    canonical_packing.start.push_back(
+        std::min<Length>(static_cast<Length>(p),
+                         instance.strip_width() - form.instance.item(p).width));
+  }
+  const Packing restored = restore_item_order(form, canonical_packing);
+  ASSERT_EQ(restored.start.size(), instance.size());
+  for (std::size_t p = 0; p < form.instance.size(); ++p) {
+    EXPECT_EQ(restored.start[form.original_index[p]],
+              canonical_packing.start[p]);
+  }
+  // The restored packing is feasible for the original instance and has the
+  // same profile peak (same multiset of placed rectangles).
+  EXPECT_EQ(peak_height(instance, restored),
+            peak_height(form.instance, canonical_packing));
+}
+
+TEST(CanonicalTest, RestoreItemOrderChecksSizes) {
+  const CanonicalForm form = canonicalize(Instance(10, {Item{2, 3}}));
+  Packing wrong;
+  wrong.start = {0, 0};
+  EXPECT_THROW((void)restore_item_order(form, wrong), InvalidInput);
+}
+
+}  // namespace
+}  // namespace dsp::service

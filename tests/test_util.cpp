@@ -5,6 +5,7 @@
 #include "util/check.hpp"
 #include "util/fraction.hpp"
 #include "util/prng.hpp"
+#include "util/json_row.hpp"
 #include "util/table.hpp"
 
 namespace dsp {
@@ -121,6 +122,21 @@ TEST(Require, ThrowsWithMessage) {
   } catch (const InvalidInput& e) {
     EXPECT_STREQ(e.what(), "value was 42");
   }
+}
+
+TEST(JsonRow, PrintsFieldsInInsertionOrder) {
+  std::ostringstream os;
+  JsonRow().field("a", 1).field("b", "x").field("c", 1.5).print(os);
+  EXPECT_EQ(os.str(), "{\"a\":1,\"b\":\"x\",\"c\":1.5}\n");
+}
+
+TEST(JsonRow, EscapesUntrustedStringValues) {
+  // Instance names and file paths flow into rows; quotes, backslashes and
+  // control characters must come out as valid JSON.
+  std::ostringstream os;
+  JsonRow().field("name", "day \"A\"\\night\n\x01").print(os);
+  EXPECT_EQ(os.str(),
+            "{\"name\":\"day \\\"A\\\"\\\\night\\n\\u0001\"}\n");
 }
 
 }  // namespace
