@@ -115,7 +115,7 @@ int main() {
           .cell(fill.overflow.size())
           .cell(fill.capped ? "yes" : "no")
           .cell(millis, 3);
-      JsonRow()
+      dsp::machine_fields(JsonRow())
           .field("bench", "config_lp")
           .field("scenario", scenario.name)
           .field("items", scenario.data.indices.size())

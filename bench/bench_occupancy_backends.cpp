@@ -78,7 +78,7 @@ int main() {
           .cell(sparse_ms, 3)
           .cell(sparse_ms > 0 ? dense_ms / sparse_ms : 0.0, 2)
           .cell(std::string(to_string(resolved)));
-      bench::JsonRow()
+      dsp::machine_fields(bench::JsonRow())
           .field("bench", "occupancy_backends")
           .field("algorithm", workload.name)
           .field("strip_width", static_cast<std::int64_t>(w))

@@ -83,7 +83,7 @@ int main() {
           .cell(threads)
           .cell(millis)
           .cell(speedup);
-      bench::JsonRow()
+      dsp::machine_fields(bench::JsonRow())
           .field("bench", "parallel_scaling")
           .field("mode", "portfolio")
           .field("family", family.name)
@@ -128,7 +128,7 @@ int main() {
           .cell(threads)
           .cell(millis)
           .cell(speedup);
-      bench::JsonRow()
+      dsp::machine_fields(bench::JsonRow())
           .field("bench", "parallel_scaling")
           .field("mode", "solve_many")
           .field("family", family.name)
@@ -177,7 +177,7 @@ int main() {
           .cell(threads)
           .cell(total_millis)
           .cell(total_millis > 0 ? first_millis / total_millis : 0.0);
-      bench::JsonRow()
+      dsp::machine_fields(bench::JsonRow())
           .field("bench", "parallel_scaling")
           .field("mode", "stream")
           .field("family", family.name)
@@ -218,7 +218,7 @@ int main() {
           .cell(2)
           .cell(on_millis)
           .cell(speedup);
-      bench::JsonRow()
+      dsp::machine_fields(bench::JsonRow())
           .field("bench", "parallel_scaling")
           .field("mode", "solve54_overlap")
           .field("family", family.name)

@@ -126,7 +126,7 @@ int run() {
           .cell(uncached_ms)
           .cell(cached_ms)
           .cell(uncached_ms / std::max(cached_ms, 1e-9));
-      bench::JsonRow()
+      dsp::machine_fields(bench::JsonRow())
           .field("bench", "solve_cache")
           .field("workload", workload.name)
           .field("threads", threads)

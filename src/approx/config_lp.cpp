@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <numeric>
-#include <set>
+#include <span>
 #include <utility>
 
 #include "lp/simplex.hpp"
@@ -15,16 +15,82 @@ namespace dsp::approx {
 
 namespace {
 
-/// A configuration: count per height class (indexed as in `heights`).
-using Config = std::vector<int>;
-
-/// One master-LP column: configuration `*config` run in box `box`.  The
-/// configuration is not owned: dense enumeration points into its
-/// per-capacity map, column generation into a stable std::deque store —
-/// either way no per-column Config copy is made.
+/// One master-LP column: configuration `config` (an id into the flat
+/// ConfigPool) run in box `box`.  No per-column Config copy is ever made.
 struct MasterColumn {
   std::size_t box;
-  const Config* config;
+  std::size_t config;
+};
+
+/// Flat SoA store of configurations: `classes` ints per row, all rows
+/// contiguous in one buffer (VerticalFillScratch::config_storage), plus a
+/// hash-indexed exact dedup of (box, config) pairs.  Replaces the node-based
+/// std::set<std::pair<box, Config>> store: appending is a bump into the flat
+/// buffer and dedup probes never chase per-node allocations.
+class ConfigPool {
+ public:
+  ConfigPool(VerticalFillScratch& scratch, std::size_t classes)
+      : scratch_(scratch), classes_(classes) {
+    scratch_.config_storage.clear();
+    scratch_.dedup.clear();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    return classes_ == 0 ? 0 : scratch_.config_storage.size() / classes_;
+  }
+
+  [[nodiscard]] std::span<const int> row(std::size_t id) const {
+    return {scratch_.config_storage.data() + id * classes_, classes_};
+  }
+
+  /// Appends `config` for `box` unless that exact (box, config) pair exists;
+  /// returns the config id and whether it was newly inserted for the box.
+  std::pair<std::size_t, bool> intern(std::size_t box, const Config& config) {
+    const std::uint64_t h = hash(box, config);
+    auto& bucket = scratch_.dedup[h];
+    for (const auto& [seen_box, id] : bucket) {
+      if (seen_box == box && std::equal(config.begin(), config.end(),
+                                        row(id).begin(), row(id).end())) {
+        return {id, false};
+      }
+    }
+    // Content may already be stored for another box; reuse that row.
+    std::size_t id = size();
+    for (const auto& [seen_box, seen_id] : bucket) {
+      if (std::equal(config.begin(), config.end(), row(seen_id).begin(),
+                     row(seen_id).end())) {
+        id = seen_id;
+        break;
+      }
+    }
+    if (id == size()) {
+      scratch_.config_storage.insert(scratch_.config_storage.end(),
+                                     config.begin(), config.end());
+    }
+    bucket.emplace_back(box, id);
+    return {id, true};
+  }
+
+ private:
+  /// SplitMix64-style content hash over (box, counts).  Collisions are
+  /// resolved exactly above, so the hash only affects bucket shape.
+  [[nodiscard]] static std::uint64_t hash(std::size_t box,
+                                          const Config& config) {
+    auto mix = [](std::uint64_t x) {
+      x += 0x9e3779b97f4a7c15ull;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+      return x ^ (x >> 31);
+    };
+    std::uint64_t h = mix(box + 1);
+    for (const int c : config) {
+      h = mix(h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(c)));
+    }
+    return h;
+  }
+
+  VerticalFillScratch& scratch_;
+  std::size_t classes_;
 };
 
 /// Enumerates multisets of heights with total <= capacity (including the
@@ -62,80 +128,6 @@ std::vector<Config> enumerate_configs(const std::vector<Height>& heights,
   };
   dfs(dfs, 0, capacity);
   return configs;
-}
-
-/// Result of one pricing knapsack: the configuration maximizing
-/// sum_h config[h] * value[h] subject to sum_h config[h] * height[h] <= cap.
-struct PricedConfig {
-  double value = 0.0;
-  Config config;
-  /// False when the DP capacity had to be clamped (astronomical capacity /
-  /// tiny heights); the returned configuration is then still feasible but
-  /// possibly not the maximizer.
-  bool exact = true;
-};
-
-/// Unbounded-knapsack DP cells allowed per pricing call; capacities are
-/// normalized by the gcd of the contributing heights first, so in practice
-/// the clamp is never hit (it guards degenerate huge-capacity inputs).
-constexpr std::size_t kDpCellLimit = std::size_t{1} << 18;
-
-/// Exact pricing oracle: bounded knapsack over the rounded height classes
-/// (counts limited only by capacity, as in the configuration definition).
-/// Deterministic: classes are scanned in ascending index order and only a
-/// strict improvement replaces a choice, so ties resolve to the lowest
-/// class and the reconstruction is schedule-independent.
-PricedConfig best_config(const std::vector<Height>& heights,
-                         const std::vector<double>& values, Height capacity) {
-  PricedConfig best;
-  best.config.assign(heights.size(), 0);
-  struct Entry {
-    std::size_t cls;
-    std::size_t weight;
-    double value;
-  };
-  std::vector<Entry> contributing;
-  Height g = 0;
-  for (std::size_t c = 0; c < heights.size(); ++c) {
-    if (values[c] > 1e-9 && heights[c] > 0 && heights[c] <= capacity) {
-      g = std::gcd(g, heights[c]);
-      contributing.push_back(Entry{c, 0, values[c]});
-    }
-  }
-  if (contributing.empty()) return best;  // only the empty configuration
-  for (Entry& e : contributing) {
-    e.weight = static_cast<std::size_t>(heights[e.cls] / g);
-  }
-  auto cells = static_cast<std::size_t>(capacity / g);
-  if (cells > kDpCellLimit) {
-    cells = kDpCellLimit;
-    best.exact = false;
-  }
-  std::vector<double> dp(cells + 1, 0.0);
-  std::vector<int> choice(cells + 1, -1);  // -1: inherit from w - 1
-  for (std::size_t w = 1; w <= cells; ++w) {
-    dp[w] = dp[w - 1];
-    for (std::size_t e = 0; e < contributing.size(); ++e) {
-      const Entry& entry = contributing[e];
-      if (entry.weight > w) continue;
-      const double candidate = dp[w - entry.weight] + entry.value;
-      if (candidate > dp[w] + 1e-12) {
-        dp[w] = candidate;
-        choice[w] = static_cast<int>(e);
-      }
-    }
-  }
-  best.value = dp[cells];
-  for (std::size_t w = cells; w > 0;) {
-    if (choice[w] < 0) {
-      --w;
-      continue;
-    }
-    const Entry& entry = contributing[static_cast<std::size_t>(choice[w])];
-    ++best.config[entry.cls];
-    w -= entry.weight;
-  }
-  return best;
 }
 
 /// Shared setup: distinct rounded heights (descending), per-class total true
@@ -179,7 +171,7 @@ void realize_solution(const Instance& instance,
                       const std::vector<std::size_t>& items,
                       const ClassSetup& setup, const std::vector<GapBox>& boxes,
                       const std::vector<MasterColumn>& columns,
-                      const std::vector<double>& x,
+                      const ConfigPool& pool, const std::vector<double>& x,
                       VerticalFillResult* result) {
   std::vector<std::vector<std::size_t>> queue(setup.heights.size());
   for (std::size_t k = 0; k < items.size(); ++k) {
@@ -199,6 +191,7 @@ void realize_solution(const Instance& instance,
     ++result->nonzero_configs;
     const MasterColumn& col = columns[j];
     const GapBox& box = boxes[col.box];
+    const std::span<const int> config = pool.row(col.config);
     // Floor, with an epsilon so a basic value of 1 - 1e-15 still yields its
     // full lane (genuinely fractional mass stays in the overflow path).
     const auto seg_width = static_cast<Length>(x[j] + 1e-6);
@@ -207,7 +200,7 @@ void realize_solution(const Instance& instance,
     cursor[col.box] = seg_end;
     if (seg_end <= seg_begin) continue;
     for (std::size_t h = 0; h < setup.heights.size(); ++h) {
-      for (int lane = 0; lane < (*col.config)[h]; ++lane) {
+      for (int lane = 0; lane < config[h]; ++lane) {
         Length at = seg_begin;
         while (at < seg_end && !queue[h].empty()) {
           const std::size_t k = queue[h].back();
@@ -246,23 +239,32 @@ std::vector<double> master_rhs(const std::vector<GapBox>& boxes,
 /// Reference oracle: enumerate-then-solve over the full (capped) column set.
 void run_dense(const Instance& instance, const std::vector<std::size_t>& items,
                const ClassSetup& setup, const std::vector<GapBox>& boxes,
-               const VerticalFillParams& params, VerticalFillResult* result) {
-  // Configurations per distinct capacity.
-  std::map<Height, std::vector<Config>> configs_by_capacity;
+               const VerticalFillParams& params, VerticalFillScratch& scratch,
+               VerticalFillResult* result) {
+  ConfigPool pool(scratch, setup.heights.size());
+  // Configuration ids per distinct capacity.
+  std::map<Height, std::vector<std::size_t>> configs_by_capacity;
   const std::size_t per_capacity = std::max<std::size_t>(
       16, params.max_configs / std::max<std::size_t>(1, boxes.size()));
   for (const GapBox& box : boxes) {
     if (!configs_by_capacity.contains(box.capacity)) {
-      configs_by_capacity[box.capacity] = enumerate_configs(
-          setup.heights, box.capacity, per_capacity, &result->capped);
+      std::vector<std::size_t>& ids = configs_by_capacity[box.capacity];
+      for (const Config& c : enumerate_configs(setup.heights, box.capacity,
+                                               per_capacity,
+                                               &result->capped)) {
+        // Interned under a per-capacity pseudo-box so identical content
+        // shared across capacities stores once.
+        ids.push_back(
+            pool.intern(boxes.size() + configs_by_capacity.size(), c).first);
+      }
     }
   }
 
   // Build the LP: one column per (box, config) pair.
   std::vector<MasterColumn> columns;
   for (std::size_t b = 0; b < boxes.size(); ++b) {
-    for (const Config& c : configs_by_capacity[boxes[b].capacity]) {
-      columns.push_back(MasterColumn{b, &c});
+    for (const std::size_t id : configs_by_capacity[boxes[b].capacity]) {
+      columns.push_back(MasterColumn{b, id});
     }
   }
   result->configurations = columns.size();
@@ -274,11 +276,12 @@ void run_dense(const Instance& instance, const std::vector<std::size_t>& items,
   problem.c.assign(columns.size(), 0.0);
   for (std::size_t j = 0; j < columns.size(); ++j) {
     const MasterColumn& col = columns[j];
+    const std::span<const int> config = pool.row(col.config);
     problem.a[col.box][j] = 1.0;
     Height used = 0;
     for (std::size_t h = 0; h < setup.heights.size(); ++h) {
-      problem.a[boxes.size() + h][j] = static_cast<double>((*col.config)[h]);
-      used += static_cast<Height>((*col.config)[h]) * setup.heights[h];
+      problem.a[boxes.size() + h][j] = static_cast<double>(config[h]);
+      used += static_cast<Height>(config[h]) * setup.heights[h];
     }
     // Objective: prefer tight configurations (minimize wasted capacity).
     problem.c[j] = static_cast<double>(boxes[col.box].capacity - used);
@@ -289,7 +292,8 @@ void run_dense(const Instance& instance, const std::vector<std::size_t>& items,
   if (solution.status != lp::LpStatus::kOptimal) return;
   result->lp_solved = true;
   result->lp_objective = solution.objective;
-  realize_solution(instance, items, setup, boxes, columns, solution.x, result);
+  realize_solution(instance, items, setup, boxes, columns, pool, solution.x,
+                   result);
 }
 
 /// Column generation: seed with the empty configurations, then iterate
@@ -303,18 +307,18 @@ void run_column_generation(const Instance& instance,
                            const ClassSetup& setup,
                            const std::vector<GapBox>& boxes,
                            const VerticalFillParams& params,
+                           VerticalFillScratch& scratch,
                            VerticalFillResult* result) {
   const std::size_t nb = boxes.size();
   const std::size_t nh = setup.heights.size();
   lp::ColumnLp master(master_rhs(boxes, setup));
 
+  ConfigPool pool(scratch, nh);
   std::vector<MasterColumn> columns;
-  // The dedup set doubles as the stable Config store MasterColumn points
-  // into (node-based, so addresses survive insertions).
-  std::set<std::pair<std::size_t, Config>> seen;
-  std::vector<double> entries(nb + nh);
+  std::vector<double>& entries = scratch.entries;
+  entries.assign(nb + nh, 0.0);
   const auto add_column = [&](std::size_t b, const Config& config) {
-    const auto [slot, inserted] = seen.emplace(b, config);
+    const auto [id, inserted] = pool.intern(b, config);
     if (!inserted) return false;
     std::fill(entries.begin(), entries.end(), 0.0);
     entries[b] = 1.0;
@@ -325,7 +329,7 @@ void run_column_generation(const Instance& instance,
     }
     master.add_column(entries,
                       static_cast<double>(boxes[b].capacity - used));
-    columns.push_back(MasterColumn{b, &slot->second});
+    columns.push_back(MasterColumn{b, id});
     return true;
   };
   const Config empty_config(nh, 0);
@@ -344,7 +348,15 @@ void run_column_generation(const Instance& instance,
     (void)box_list;
     capacities.push_back(capacity);
   }
+  // One pricing scratch per distinct capacity: concurrent pricing tasks get
+  // disjoint slots (parallel_map hands each task its index), and the slots
+  // persist across rounds and — via VerticalFillParams::scratch — across
+  // bisection attempts.
+  if (scratch.pricing.size() < capacities.size()) {
+    scratch.pricing.resize(capacities.size());
+  }
 
+  std::vector<double>& values = scratch.values;
   for (;;) {
     ++result->pricing_rounds;
     const lp::LpSolution& sol = master.resolve();
@@ -359,7 +371,7 @@ void run_column_generation(const Instance& instance,
       break;
     }
     const std::vector<double>& y = feasible ? sol.duals : master.farkas();
-    std::vector<double> values(nh);
+    values.assign(nh, 0.0);
     for (std::size_t h = 0; h < nh; ++h) {
       values[h] = feasible ? static_cast<double>(setup.heights[h]) + y[nb + h]
                            : y[nb + h];
@@ -367,13 +379,16 @@ void run_column_generation(const Instance& instance,
     std::vector<PricedConfig> priced;
     if (params.pricing_pool != nullptr && capacities.size() > 1) {
       priced = runtime::parallel_map(
-          *params.pricing_pool, capacities, [&](Height capacity, std::size_t) {
-            return best_config(setup.heights, values, capacity);
+          *params.pricing_pool, capacities,
+          [&](Height capacity, std::size_t index) {
+            return price_knapsack(setup.heights, values, capacity,
+                                  scratch.pricing[index]);
           });
     } else {
       priced.reserve(capacities.size());
-      for (const Height capacity : capacities) {
-        priced.push_back(best_config(setup.heights, values, capacity));
+      for (std::size_t ci = 0; ci < capacities.size(); ++ci) {
+        priced.push_back(price_knapsack(setup.heights, values, capacities[ci],
+                                        scratch.pricing[ci]));
       }
     }
     bool added = false;
@@ -404,8 +419,8 @@ void run_column_generation(const Instance& instance,
   if (final_solution.status != lp::LpStatus::kOptimal) return;
   result->lp_solved = true;
   result->lp_objective = final_solution.objective;
-  realize_solution(instance, items, setup, boxes, columns, final_solution.x,
-                   result);
+  realize_solution(instance, items, setup, boxes, columns, pool,
+                   final_solution.x, result);
 }
 
 }  // namespace
@@ -427,11 +442,15 @@ VerticalFillResult fill_vertical_items(const Instance& instance,
     return result;
   }
 
+  VerticalFillScratch local_scratch;
+  VerticalFillScratch& scratch =
+      params.scratch != nullptr ? *params.scratch : local_scratch;
   const ClassSetup setup = build_classes(instance, items, rounding);
   if (params.engine == ConfigLpEngine::kDenseEnumeration) {
-    run_dense(instance, items, setup, boxes, params, &result);
+    run_dense(instance, items, setup, boxes, params, scratch, &result);
   } else {
-    run_column_generation(instance, items, setup, boxes, params, &result);
+    run_column_generation(instance, items, setup, boxes, params, scratch,
+                          &result);
   }
   if (!result.lp_solved) {
     result.start.assign(items.size(), -1);

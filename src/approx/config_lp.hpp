@@ -1,8 +1,11 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
+#include "approx/pricing.hpp"
 #include "approx/rounding.hpp"
 
 namespace dsp::runtime {
@@ -35,6 +38,23 @@ enum class ConfigLpEngine {
   kColumnGeneration,
 };
 
+/// Reusable buffers of fill_vertical_items: the flat configuration store,
+/// its dedup index, the per-capacity pricing scratches and the hoisted
+/// per-round vectors.  A solve54 bisection passes one scratch per attempt
+/// slot so repeated attempts stop re-allocating; every call fully re-derives
+/// the contents, so reuse never changes a result (tested).
+struct VerticalFillScratch {
+  /// Flat SoA configuration store: one row of `classes` ints per
+  /// configuration, all rows in one contiguous buffer.
+  std::vector<int> config_storage;
+  /// Content hash -> candidate (box, config id) pairs, verified exactly.
+  std::unordered_map<std::uint64_t, std::vector<std::pair<std::size_t, std::size_t>>>
+      dedup;
+  std::vector<PricingScratch> pricing;  ///< one per distinct box capacity
+  std::vector<double> values;           ///< per-class pricing values
+  std::vector<double> entries;          ///< master-column build buffer
+};
+
 /// Parameters of fill_vertical_items.
 struct VerticalFillParams {
   ConfigLpEngine engine = ConfigLpEngine::kColumnGeneration;
@@ -49,6 +69,9 @@ struct VerticalFillParams {
   /// capacity).  Results are reduced in a fixed capacity-then-box order, so
   /// the fill is bit-identical for every pool size, nullptr included.
   runtime::ThreadPool* pricing_pool = nullptr;
+  /// Optional reusable buffers (see VerticalFillScratch).  nullptr uses a
+  /// call-local scratch — same results, more allocator traffic.
+  VerticalFillScratch* scratch = nullptr;
 };
 
 /// Result of the Lemma-10 configuration-LP placement of vertical items.

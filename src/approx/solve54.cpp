@@ -1,6 +1,7 @@
 #include "approx/solve54.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
 #include <optional>
 
@@ -15,6 +16,18 @@
 namespace dsp::approx {
 
 namespace {
+
+/// Reusable per-probe-slot state: the demand-profile backend (reset, not
+/// reconstructed, between attempts) and the Lemma-10 fill buffers.  solve54
+/// keeps one slot per concurrent probe; parallel_map hands each probe its
+/// index, so concurrent attempts always hit disjoint slots and a slot is
+/// only ever reused after its previous attempt completed.  Reuse changes no
+/// result: reset() restores the all-zero profile and the fill scratch is
+/// fully re-derived per call (both tested).
+struct AttemptScratch {
+  std::unique_ptr<ProfileBackend> profile;
+  VerticalFillScratch fill;
+};
 
 struct AttemptOutcome {
   Packing packing;
@@ -93,7 +106,8 @@ std::vector<GapBox> gap_boxes_of_profile(const ProfileBackend& occupancy,
 /// outcome is independent of the pool and its size.
 AttemptOutcome attempt(const Instance& instance, Height h_guess,
                        const Approx54Params& params,
-                       runtime::ThreadPool* pricing_pool) {
+                       runtime::ThreadPool* pricing_pool,
+                       AttemptScratch& scratch) {
   AttemptOutcome outcome;
   outcome.cls =
       select_parameters(instance, h_guess, params.epsilon, params.ladder_length);
@@ -102,10 +116,16 @@ AttemptOutcome attempt(const Instance& instance, Height h_guess,
   const Height budget =
       ceil_mul(h_guess, Fraction(5, 4) + params.epsilon);
 
-  const auto profile = make_profile_backend(params.backend,
-                                            instance.strip_width(),
-                                            instance.size());
-  ProfileBackend& occupancy = *profile;
+  // kAuto resolves from (width, n) only — both fixed across the bisection —
+  // so the reused backend is always the one a fresh construction would pick.
+  if (scratch.profile == nullptr) {
+    scratch.profile = make_profile_backend(params.backend,
+                                           instance.strip_width(),
+                                           instance.size());
+  } else {
+    scratch.profile->reset();
+  }
+  ProfileBackend& occupancy = *scratch.profile;
   Packing packing;
   packing.start.assign(instance.size(), -1);
   const auto place = [&](std::size_t i, Length x) {
@@ -149,6 +169,7 @@ AttemptOutcome attempt(const Instance& instance, Height h_guess,
     fill_params.max_configs = params.max_configs;
     fill_params.max_pricing_rounds = params.max_pricing_rounds;
     fill_params.pricing_pool = pricing_pool;
+    fill_params.scratch = &scratch.fill;
     const VerticalFillResult fill =
         fill_vertical_items(instance, vertical, rounding, gaps, fill_params);
     outcome.lp_used = fill.lp_solved;
@@ -233,6 +254,10 @@ Approx54Result solve54(const Instance& instance, const Approx54Params& params) {
     pricing_pool.emplace(static_cast<std::size_t>(params.lp_pricing_threads));
   }
   runtime::ThreadPool* const pricing = pricing_pool ? &*pricing_pool : nullptr;
+  // One reusable scratch per probe slot (see AttemptScratch): slot i serves
+  // the i-th guess of every round, so profiles and LP buffers are built once
+  // and recycled across the whole bisection.
+  std::vector<AttemptScratch> scratches(static_cast<std::size_t>(k_max));
 
   // Step 1: bounds.  The witness doubles as the fallback packing.  With
   // overlap_step1 the lower bound and the witness portfolio run as one pool
@@ -257,13 +282,15 @@ Approx54Result solve54(const Instance& instance, const Approx54Params& params) {
     });
     report.lower_bound = bound_task.get();
     speculative_guess = std::max<Height>(1, report.lower_bound);
-    speculative = attempt(instance, speculative_guess, params, pricing);
+    speculative = attempt(instance, speculative_guess, params, pricing,
+                          scratches[0]);
     witness = witness_task.get();
   } else {
     report.lower_bound = combined_lower_bound(instance);
     witness = algo::best_of_portfolio(instance, nullptr, params.backend);
     speculative_guess = std::max<Height>(1, report.lower_bound);
-    speculative = attempt(instance, speculative_guess, params, pricing);
+    speculative = attempt(instance, speculative_guess, params, pricing,
+                          scratches[0]);
   }
   const Height witness_peak = peak_height(instance, witness);
   report.upper_bound = witness_peak;
@@ -323,12 +350,15 @@ Approx54Result solve54(const Instance& instance, const Approx54Params& params) {
     }
     if (pool && guesses.size() > 1) {
       outcomes = runtime::parallel_map(
-          *pool, guesses,
-          [&](Height guess, std::size_t) { return attempt(instance, guess, params, pricing); });
+          *pool, guesses, [&](Height guess, std::size_t index) {
+            return attempt(instance, guess, params, pricing,
+                           scratches[index]);
+          });
     } else {
       outcomes.reserve(guesses.size());
       for (const Height guess : guesses) {
-        outcomes.push_back(attempt(instance, guess, params, pricing));
+        outcomes.push_back(
+            attempt(instance, guess, params, pricing, scratches[0]));
       }
     }
     report.attempts += guesses.size();

@@ -1,8 +1,8 @@
 #include "core/occupancy.hpp"
 
 #include <algorithm>
-#include <deque>
 
+#include "core/simd.hpp"
 #include "util/check.hpp"
 
 namespace dsp {
@@ -12,18 +12,20 @@ StripOccupancy::StripOccupancy(Length strip_width) {
   load_.assign(static_cast<std::size_t>(strip_width), 0);
 }
 
+void StripOccupancy::reset() {
+  std::fill(load_.begin(), load_.end(), Height{0});
+}
+
 Height StripOccupancy::peak() const {
-  Height p = 0;
-  for (const Height v : load_) p = std::max(p, v);
-  return p;
+  // The historical contract: the peak of an all-negative profile is 0.
+  return std::max<Height>(0, simd::reduce_max(load_.data(), load_.size()));
 }
 
 void StripOccupancy::add(Length start, Length width, Height height) {
   DSP_REQUIRE(start >= 0 && width >= 1 && start + width <= strip_width(),
               "add outside strip: start=" << start << " width=" << width);
-  for (Length x = start; x < start + width; ++x) {
-    load_[static_cast<std::size_t>(x)] += height;
-  }
+  simd::add_delta(load_.data() + start, static_cast<std::size_t>(width),
+                  height);
 }
 
 void StripOccupancy::remove(Length start, Length width, Height height) {
@@ -33,70 +35,51 @@ void StripOccupancy::remove(Length start, Length width, Height height) {
 void StripOccupancy::raise_to(Length start, Length width, Height target) {
   DSP_REQUIRE(start >= 0 && width >= 1 && start + width <= strip_width(),
               "raise_to outside strip: start=" << start << " width=" << width);
-  for (Length x = start; x < start + width; ++x) {
-    auto& load = load_[static_cast<std::size_t>(x)];
-    load = std::max(load, target);
-  }
+  simd::raise_floor(load_.data() + start, static_cast<std::size_t>(width),
+                    target);
 }
 
 Height StripOccupancy::window_max(Length start, Length width) const {
   DSP_REQUIRE(start >= 0 && width >= 1 && start + width <= strip_width(),
               "window outside strip");
-  Height m = 0;
-  for (Length x = start; x < start + width; ++x) {
-    m = std::max(m, load_[static_cast<std::size_t>(x)]);
-  }
-  return m;
+  // Like peak(): clamped at 0 (the scan historically started from m = 0).
+  return std::max<Height>(
+      0, simd::reduce_max(load_.data() + start, static_cast<std::size_t>(width)));
 }
 
 Length StripOccupancy::next_change(Length x) const {
   const Length w = strip_width();
   DSP_REQUIRE(x >= 0 && x < w, "next_change outside the strip");
   const Height v = load_[static_cast<std::size_t>(x)];
-  for (Length y = x + 1; y < w; ++y) {
-    if (load_[static_cast<std::size_t>(y)] != v) return y;
-  }
-  return w;
+  const std::size_t run = simd::first_ne(
+      load_.data() + x + 1, static_cast<std::size_t>(w - x - 1), v);
+  return x + 1 + static_cast<Length>(run);
 }
 
-std::vector<Height> StripOccupancy::window_maxima(Length width) const {
-  const Length w = strip_width();
-  std::vector<Height> maxima(static_cast<std::size_t>(w - width + 1));
-  std::deque<Length> queue;  // indices with decreasing load
-  for (Length x = 0; x < w; ++x) {
-    while (!queue.empty() &&
-           load_[static_cast<std::size_t>(queue.back())] <=
-               load_[static_cast<std::size_t>(x)]) {
-      queue.pop_back();
-    }
-    queue.push_back(x);
-    if (queue.front() <= x - width) queue.pop_front();
-    if (x >= width - 1) {
-      maxima[static_cast<std::size_t>(x - width + 1)] =
-          load_[static_cast<std::size_t>(queue.front())];
-    }
-  }
-  return maxima;
+std::span<const Height> StripOccupancy::window_maxima(Length width) const {
+  return sliding_window_maxima(load_, width, scratch_);
 }
 
 std::optional<Length> StripOccupancy::first_fit(Length width, Height height,
                                                 Height budget) const {
   DSP_REQUIRE(width >= 1 && width <= strip_width(), "item wider than strip");
-  const std::vector<Height> maxima = window_maxima(width);
-  for (std::size_t x = 0; x < maxima.size(); ++x) {
-    if (maxima[x] + height <= budget) return static_cast<Length>(x);
-  }
-  return std::nullopt;
+  const std::span<const Height> maxima = window_maxima(width);
+  // maxima[x] + height <= budget, searched as maxima[x] <= budget - height
+  // (exact for the integer heights of this problem).
+  const std::size_t x =
+      simd::first_leq(maxima.data(), maxima.size(), budget - height);
+  if (x == maxima.size()) return std::nullopt;
+  return static_cast<Length>(x);
 }
 
 BestPosition StripOccupancy::min_peak_position(Length width) const {
   DSP_REQUIRE(width >= 1 && width <= strip_width(), "item wider than strip");
-  const std::vector<Height> maxima = window_maxima(width);
-  std::size_t best = 0;
-  for (std::size_t x = 1; x < maxima.size(); ++x) {
-    if (maxima[x] < maxima[best]) best = x;
-  }
-  return {static_cast<Length>(best), maxima[best]};
+  const std::span<const Height> maxima = window_maxima(width);
+  // Leftmost minimizer: the min, then its first occurrence — two vector
+  // scans instead of one scalar compare chain.
+  const Height best = simd::reduce_min(maxima.data(), maxima.size());
+  const std::size_t x = simd::first_eq(maxima.data(), maxima.size(), best);
+  return {static_cast<Length>(x), best};
 }
 
 }  // namespace dsp

@@ -1,9 +1,11 @@
 #pragma once
 
 #include <optional>
-#include <vector>
+#include <span>
 
+#include "core/arena.hpp"
 #include "core/instance.hpp"
+#include "core/window_maxima.hpp"
 
 namespace dsp {
 
@@ -18,6 +20,14 @@ namespace dsp {
 ///
 /// W is pseudo-polynomially small in this problem family (days divided into
 /// minutes — paper §1), so dense O(W) passes are the intended regime.
+///
+/// Layout: one flat, 64-byte-aligned load array plus reusable
+/// sliding-window scratch.  Every scan runs through the core/simd.hpp
+/// kernels (AVX2 with a bit-identical scalar fallback, dispatched at
+/// runtime), and no query allocates after the first — the scratch is a
+/// member, which also means a StripOccupancy must not be shared across
+/// threads without external synchronization (its mutating API already
+/// imposed that contract).
 class StripOccupancy {
  public:
   explicit StripOccupancy(Length strip_width);
@@ -26,6 +36,10 @@ class StripOccupancy {
   [[nodiscard]] Height peak() const;
   [[nodiscard]] Height load_at(Length x) const { return load_.at(static_cast<std::size_t>(x)); }
   [[nodiscard]] std::span<const Height> loads() const { return load_; }
+
+  /// Restores the all-zero profile, retaining the buffers (the arena-style
+  /// reuse path of repeated solve54 bisection attempts).
+  void reset();
 
   /// Adds an item of the given width/height starting at `start`.
   void add(Length start, Length width, Height height);
@@ -54,10 +68,13 @@ class StripOccupancy {
   [[nodiscard]] BestPosition min_peak_position(Length width) const;
 
  private:
-  /// Sliding-window maxima M[x] = max load over [x, x+width) for all valid x.
-  [[nodiscard]] std::vector<Height> window_maxima(Length width) const;
+  /// Sliding-window maxima M[x] = max load over [x, x+width) for all valid
+  /// x, as a span into the reusable scratch (core/window_maxima.hpp).
+  [[nodiscard]] std::span<const Height> window_maxima(Length width) const;
 
-  std::vector<Height> load_;
+  AlignedVec<Height> load_;
+  /// Query scratch; mutable so the const searches stay allocation-free.
+  mutable WindowMaximaScratch scratch_;
 };
 
 }  // namespace dsp

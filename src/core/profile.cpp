@@ -22,7 +22,11 @@ class DenseProfileBackend final : public ProfileBackend {
   [[nodiscard]] Height load_at(Length x) const override {
     return occupancy_.load_at(x);
   }
+  [[nodiscard]] std::span<const Height> dense_loads() const override {
+    return occupancy_.loads();
+  }
 
+  void reset() override { occupancy_.reset(); }
   void add(Length start, Length width, Height height) override {
     occupancy_.add(start, width, height);
   }
@@ -59,6 +63,7 @@ class SparseProfileBackend final : public ProfileBackend {
     return tree_.range_max(x, x + 1);
   }
 
+  void reset() override { tree_.reset(); }
   void add(Length start, Length width, Height height) override {
     tree_.range_add(start, start + width, height);
   }

@@ -2,6 +2,7 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <string_view>
 
 #include "core/instance.hpp"
@@ -47,6 +48,19 @@ class ProfileBackend {
   [[nodiscard]] virtual Length strip_width() const = 0;
   [[nodiscard]] virtual Height peak() const = 0;
   [[nodiscard]] virtual Height load_at(Length x) const = 0;
+
+  /// Restores the all-zero profile while retaining the internal buffers, so
+  /// a backend can be recycled across solve54 bisection attempts instead of
+  /// being reconstructed (and re-allocated) per probe.
+  virtual void reset() = 0;
+
+  /// The flat per-column load array when this backend keeps one (the dense
+  /// backend), empty otherwise.  Lets bulk consumers (the shared
+  /// sliding-window-maxima pass) run directly over the contiguous storage
+  /// instead of issuing per-window virtual queries.
+  [[nodiscard]] virtual std::span<const Height> dense_loads() const {
+    return {};
+  }
 
   /// Adds an item of the given width/height starting at `start`.
   virtual void add(Length start, Length width, Height height) = 0;

@@ -4,8 +4,8 @@
 #include <cstddef>
 #include <limits>
 #include <optional>
-#include <vector>
 
+#include "core/arena.hpp"
 #include "core/instance.hpp"
 #include "util/check.hpp"
 
@@ -28,6 +28,12 @@ namespace dsp {
 /// raise compose into this form, so one lazy slot per node suffices.  Each
 /// node stores the true min/max of its subtree; the lazy applies to the
 /// children only (classical push-down formulation).
+///
+/// Layout: the four per-node quantities live in one 32-byte node inside one
+/// flat aligned array (children 2i / 2i+1 share a cache line), so a descent
+/// touches one line per level instead of four.  The placement searches run
+/// as an explicit-stack loop over that array — no recursion, and the only
+/// branches left are the pruning tests themselves.
 class SegmentTree {
  public:
   explicit SegmentTree(Length width) : width_(width) {
@@ -35,13 +41,14 @@ class SegmentTree {
     std::size_t size = 1;
     while (size < static_cast<std::size_t>(width)) size <<= 1;
     size_ = size;
-    max_.assign(2 * size_, 0);
-    min_.assign(2 * size_, 0);
-    add_.assign(2 * size_, 0);
-    floor_.assign(2 * size_, kNoFloor);
+    nodes_.assign(2 * size_, Node{});
   }
 
   [[nodiscard]] Length width() const { return width_; }
+
+  /// Restores the all-zero profile, retaining the node array (the
+  /// arena-style reuse path of repeated solve54 bisection attempts).
+  void reset() { std::fill(nodes_.begin(), nodes_.end(), Node{}); }
 
   /// Adds `delta` to every column in [begin, end).
   void range_add(Length begin, Length end, Height delta) {
@@ -65,7 +72,7 @@ class SegmentTree {
   }
 
   /// Max load over the whole strip.
-  [[nodiscard]] Height peak() const { return max_[1]; }
+  [[nodiscard]] Height peak() const { return nodes_[1].max; }
 
   /// Leftmost start x in [0, W-width] such that range_max(x, x+width) +
   /// height <= budget, or nullopt if none exists.  Costs O(log^2 W) per
@@ -111,8 +118,8 @@ class SegmentTree {
   [[nodiscard]] BestPosition min_peak_position(Length item_width) const {
     DSP_REQUIRE(item_width >= 1 && item_width <= width_,
                 "item wider than strip");
-    Height lo = min_[1];  // window max is at least the smallest column
-    Height hi = peak();   // and at most the global peak (always feasible)
+    Height lo = nodes_[1].min;  // window max is at least the smallest column
+    Height hi = peak();         // and at most the global peak (feasible)
     while (lo < hi) {
       const Height mid = lo + (hi - lo) / 2;
       if (first_fit(item_width, 0, mid).has_value()) {
@@ -128,6 +135,15 @@ class SegmentTree {
 
  private:
   static constexpr Height kNoFloor = std::numeric_limits<Height>::min();
+
+  /// One tree node: subtree max/min plus the pending lazy map for the
+  /// children.  32 bytes, so a sibling pair shares one cache line.
+  struct alignas(32) Node {
+    Height max = 0;
+    Height min = 0;
+    Height add = 0;
+    Height floor = kNoFloor;
+  };
 
   /// Applies the pending map v ↦ max(v + add, floor) to a value.
   static Height eval(Height value, Height add, Height floor) {
@@ -146,26 +162,28 @@ class SegmentTree {
   /// Applies (add, floor) to a node's stored values and, for internal nodes,
   /// folds it into the lazy pending for the children.
   void apply(std::size_t node, Height add, Height floor) {
-    max_[node] = eval(max_[node], add, floor);
-    min_[node] = eval(min_[node], add, floor);
+    Node& n = nodes_[node];
+    n.max = eval(n.max, add, floor);
+    n.min = eval(n.min, add, floor);
     if (node < size_) {
-      floor_[node] = compose_floor(floor_[node], add, floor);
-      add_[node] += add;
+      n.floor = compose_floor(n.floor, add, floor);
+      n.add += add;
     }
   }
 
   void push(std::size_t node) {
-    if (add_[node] != 0 || floor_[node] != kNoFloor) {
-      apply(2 * node, add_[node], floor_[node]);
-      apply(2 * node + 1, add_[node], floor_[node]);
-      add_[node] = 0;
-      floor_[node] = kNoFloor;
+    Node& n = nodes_[node];
+    if (n.add != 0 || n.floor != kNoFloor) {
+      apply(2 * node, n.add, n.floor);
+      apply(2 * node + 1, n.add, n.floor);
+      n.add = 0;
+      n.floor = kNoFloor;
     }
   }
 
   void pull(std::size_t node) {
-    max_[node] = std::max(max_[2 * node], max_[2 * node + 1]);
-    min_[node] = std::min(min_[2 * node], min_[2 * node + 1]);
+    nodes_[node].max = std::max(nodes_[2 * node].max, nodes_[2 * node + 1].max);
+    nodes_[node].min = std::min(nodes_[2 * node].min, nodes_[2 * node + 1].min);
   }
 
   void update(std::size_t node, Length lo, Length hi, Length begin, Length end,
@@ -183,7 +201,7 @@ class SegmentTree {
 
   [[nodiscard]] Height query(std::size_t node, Length lo, Length hi,
                              Length begin, Length end) const {
-    if (begin <= lo && hi <= end) return max_[node];
+    if (begin <= lo && hi <= end) return nodes_[node].max;
     const Length mid = lo + (hi - lo) / 2;
     Height best = 0;
     bool any = false;
@@ -197,65 +215,72 @@ class SegmentTree {
     }
     // The children's stored values are stale by this node's pending lazy;
     // the map is monotone, so applying it to their max commutes.
-    return eval(best, add_[node], floor_[node]);
+    return eval(best, nodes_[node].add, nodes_[node].floor);
   }
 
-  /// Leftmost column in [begin, end) with load > threshold, or -1.
-  /// (a, b): composition of the ancestors' pending lazies applying to this
-  /// node's stored values.
+  /// A pending descent frame: node plus its column interval and the
+  /// composition (a, b) of the ancestors' lazies applying to its stored
+  /// values.  The stack never exceeds one sibling pair per level.
+  struct Frame {
+    std::size_t node;
+    Length lo, hi;
+    Height a, b;
+  };
+
+  /// Leftmost column in [begin, end) with load > threshold, or -1 —
+  /// iterative DFS over the flat node array, left child first, pruning
+  /// subtrees whose lazily-adjusted max cannot exceed the threshold.
   [[nodiscard]] Length find_first_above(Length begin, Length end,
                                         Height threshold) const {
     if (begin >= end) return -1;
-    return descend_above(1, 0, static_cast<Length>(size_), begin, end,
-                         threshold, 0, kNoFloor);
+    Frame stack[2 * kMaxLevels];
+    int top = 0;
+    stack[top++] = Frame{1, 0, static_cast<Length>(size_), 0, kNoFloor};
+    while (top > 0) {
+      const Frame f = stack[--top];
+      if (f.hi <= begin || end <= f.lo) continue;
+      const Node& n = nodes_[f.node];
+      if (eval(n.max, f.a, f.b) <= threshold) continue;
+      if (f.node >= size_) return f.lo;
+      const Height child_a = n.add + f.a;
+      const Height child_b = compose_floor(n.floor, f.a, f.b);
+      const Length mid = f.lo + (f.hi - f.lo) / 2;
+      stack[top++] = Frame{2 * f.node + 1, mid, f.hi, child_a, child_b};
+      stack[top++] = Frame{2 * f.node, f.lo, mid, child_a, child_b};
+    }
+    return -1;
   }
 
-  [[nodiscard]] Length descend_above(std::size_t node, Length lo, Length hi,
-                                     Length begin, Length end, Height threshold,
-                                     Height a, Height b) const {
-    if (hi <= begin || end <= lo) return -1;
-    if (eval(max_[node], a, b) <= threshold) return -1;
-    if (node >= size_) return lo;
-    const Height child_a = add_[node] + a;
-    const Height child_b = compose_floor(floor_[node], a, b);
-    const Length mid = lo + (hi - lo) / 2;
-    const Length left = descend_above(2 * node, lo, mid, begin, end, threshold,
-                                      child_a, child_b);
-    if (left >= 0) return left;
-    return descend_above(2 * node + 1, mid, hi, begin, end, threshold, child_a,
-                         child_b);
-  }
-
-  /// Leftmost column in [begin, end) with load <= threshold, or -1.
+  /// Leftmost column in [begin, end) with load <= threshold, or -1 (same
+  /// descent, pruning on the subtree min instead).
   [[nodiscard]] Length find_first_leq(Length begin, Length end,
                                       Height threshold) const {
     if (begin >= end) return -1;
-    return descend_leq(1, 0, static_cast<Length>(size_), begin, end, threshold,
-                       0, kNoFloor);
+    Frame stack[2 * kMaxLevels];
+    int top = 0;
+    stack[top++] = Frame{1, 0, static_cast<Length>(size_), 0, kNoFloor};
+    while (top > 0) {
+      const Frame f = stack[--top];
+      if (f.hi <= begin || end <= f.lo) continue;
+      const Node& n = nodes_[f.node];
+      if (eval(n.min, f.a, f.b) > threshold) continue;
+      if (f.node >= size_) return f.lo;
+      const Height child_a = n.add + f.a;
+      const Height child_b = compose_floor(n.floor, f.a, f.b);
+      const Length mid = f.lo + (f.hi - f.lo) / 2;
+      stack[top++] = Frame{2 * f.node + 1, mid, f.hi, child_a, child_b};
+      stack[top++] = Frame{2 * f.node, f.lo, mid, child_a, child_b};
+    }
+    return -1;
   }
 
-  [[nodiscard]] Length descend_leq(std::size_t node, Length lo, Length hi,
-                                   Length begin, Length end, Height threshold,
-                                   Height a, Height b) const {
-    if (hi <= begin || end <= lo) return -1;
-    if (eval(min_[node], a, b) > threshold) return -1;
-    if (node >= size_) return lo;
-    const Height child_a = add_[node] + a;
-    const Height child_b = compose_floor(floor_[node], a, b);
-    const Length mid = lo + (hi - lo) / 2;
-    const Length left = descend_leq(2 * node, lo, mid, begin, end, threshold,
-                                    child_a, child_b);
-    if (left >= 0) return left;
-    return descend_leq(2 * node + 1, mid, hi, begin, end, threshold, child_a,
-                       child_b);
-  }
+  /// Length is 64-bit, so a tree never exceeds 63 levels; the descent stack
+  /// holds at most one sibling pair per level.
+  static constexpr int kMaxLevels = 64;
 
   Length width_;
   std::size_t size_ = 1;
-  std::vector<Height> max_;
-  std::vector<Height> min_;
-  std::vector<Height> add_;
-  std::vector<Height> floor_;
+  AlignedVec<Node> nodes_;
 };
 
 }  // namespace dsp

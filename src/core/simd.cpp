@@ -1,0 +1,154 @@
+#include "core/simd.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace dsp::simd {
+
+namespace {
+
+/// Test/bench pin to the scalar path.  Relaxed is enough: the flag is only
+/// flipped from quiescent setup code (see the header contract) and every
+/// kernel result is identical on both paths anyway.
+std::atomic<bool> g_force_scalar{false};
+
+bool cpu_has_avx2() {
+#if defined(__GNUC__) && defined(__x86_64__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels.  These are also the tails of the AVX2 kernels'
+// contract: exact integer operations, leftmost-match search semantics.
+// ---------------------------------------------------------------------------
+
+Height reduce_max_scalar(const Height* p, std::size_t n) {
+  Height m = p[0];
+  for (std::size_t i = 1; i < n; ++i) m = std::max(m, p[i]);
+  return m;
+}
+
+Height reduce_min_scalar(const Height* p, std::size_t n) {
+  Height m = p[0];
+  for (std::size_t i = 1; i < n; ++i) m = std::min(m, p[i]);
+  return m;
+}
+
+void add_delta_scalar(Height* p, std::size_t n, Height delta) {
+  for (std::size_t i = 0; i < n; ++i) p[i] += delta;
+}
+
+void raise_floor_scalar(Height* p, std::size_t n, Height floor) {
+  for (std::size_t i = 0; i < n; ++i) p[i] = std::max(p[i], floor);
+}
+
+void max_combine_scalar(const Height* a, const Height* b, Height* out,
+                        std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = std::max(a[i], b[i]);
+}
+
+std::size_t first_leq_scalar(const Height* p, std::size_t n, Height threshold) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (p[i] <= threshold) return i;
+  }
+  return n;
+}
+
+std::size_t first_eq_scalar(const Height* p, std::size_t n, Height value) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (p[i] == value) return i;
+  }
+  return n;
+}
+
+std::size_t first_ne_scalar(const Height* p, std::size_t n, Height value) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (p[i] != value) return i;
+  }
+  return n;
+}
+
+}  // namespace
+
+bool avx2_compiled() {
+#if defined(DSP_NO_AVX2)
+  return false;
+#else
+  return true;
+#endif
+}
+
+bool avx2_supported() {
+  static const bool supported = cpu_has_avx2();
+  return supported;
+}
+
+void force_scalar(bool pin) {
+  g_force_scalar.store(pin, std::memory_order_relaxed);
+}
+
+bool avx2_active() {
+  return avx2_compiled() && avx2_supported() &&
+         !g_force_scalar.load(std::memory_order_relaxed);
+}
+
+std::string_view active_name() { return avx2_active() ? "avx2" : "scalar"; }
+
+// ---------------------------------------------------------------------------
+// Dispatchers.  One branch per *call* (operations are O(n)), never per
+// element.  With DSP_NO_AVX2 the detail:: symbols don't exist, so the calls
+// are compiled out entirely.
+// ---------------------------------------------------------------------------
+
+#if defined(DSP_NO_AVX2)
+#define DSP_SIMD_DISPATCH(call_avx2, call_scalar) return call_scalar
+#else
+#define DSP_SIMD_DISPATCH(call_avx2, call_scalar) \
+  if (avx2_active()) return call_avx2;            \
+  return call_scalar
+#endif
+
+Height reduce_max(const Height* p, std::size_t n) {
+  DSP_SIMD_DISPATCH(detail::reduce_max_avx2(p, n), reduce_max_scalar(p, n));
+}
+
+Height reduce_min(const Height* p, std::size_t n) {
+  DSP_SIMD_DISPATCH(detail::reduce_min_avx2(p, n), reduce_min_scalar(p, n));
+}
+
+void add_delta(Height* p, std::size_t n, Height delta) {
+  DSP_SIMD_DISPATCH(detail::add_delta_avx2(p, n, delta),
+                    add_delta_scalar(p, n, delta));
+}
+
+void raise_floor(Height* p, std::size_t n, Height floor) {
+  DSP_SIMD_DISPATCH(detail::raise_floor_avx2(p, n, floor),
+                    raise_floor_scalar(p, n, floor));
+}
+
+void max_combine(const Height* a, const Height* b, Height* out, std::size_t n) {
+  DSP_SIMD_DISPATCH(detail::max_combine_avx2(a, b, out, n),
+                    max_combine_scalar(a, b, out, n));
+}
+
+std::size_t first_leq(const Height* p, std::size_t n, Height threshold) {
+  DSP_SIMD_DISPATCH(detail::first_leq_avx2(p, n, threshold),
+                    first_leq_scalar(p, n, threshold));
+}
+
+std::size_t first_eq(const Height* p, std::size_t n, Height value) {
+  DSP_SIMD_DISPATCH(detail::first_eq_avx2(p, n, value),
+                    first_eq_scalar(p, n, value));
+}
+
+std::size_t first_ne(const Height* p, std::size_t n, Height value) {
+  DSP_SIMD_DISPATCH(detail::first_ne_avx2(p, n, value),
+                    first_ne_scalar(p, n, value));
+}
+
+#undef DSP_SIMD_DISPATCH
+
+}  // namespace dsp::simd

@@ -1,0 +1,185 @@
+// AVX2 implementations of the core/simd.hpp kernels.  This translation unit
+// is the only one compiled with -mavx2 (see the DSP_ENABLE_AVX2 option in
+// CMakeLists.txt); the dispatchers in simd.cpp only call into it after
+// checking CPU support, so the rest of the binary stays runnable on any
+// x86-64.
+//
+// Height is int64_t, so vectors carry 4 lanes.  AVX2 has no packed 64-bit
+// min/max instruction; max(a, b) is cmpgt + blendv, which is still ~4 lanes
+// per 2 ops.  All kernels are exact integer operations — bit-identical to
+// the scalar path by construction (property-tested in tests/test_simd.cpp).
+
+#if !defined(DSP_NO_AVX2)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstdint>
+
+#include "core/simd.hpp"
+
+namespace dsp::simd::detail {
+
+namespace {
+
+inline __m256i max_epi64(__m256i a, __m256i b) {
+  return _mm256_blendv_epi8(b, a, _mm256_cmpgt_epi64(a, b));
+}
+
+inline __m256i min_epi64(__m256i a, __m256i b) {
+  return _mm256_blendv_epi8(a, b, _mm256_cmpgt_epi64(a, b));
+}
+
+inline Height hmax_epi64(__m256i v) {
+  alignas(32) Height lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), v);
+  return std::max(std::max(lanes[0], lanes[1]), std::max(lanes[2], lanes[3]));
+}
+
+inline Height hmin_epi64(__m256i v) {
+  alignas(32) Height lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), v);
+  return std::min(std::min(lanes[0], lanes[1]), std::min(lanes[2], lanes[3]));
+}
+
+inline __m256i loadu(const Height* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+inline void storeu(Height* p, __m256i v) {
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+}
+
+/// 4-bit lane mask (bit l set iff lane l's 64-bit value has its sign bit
+/// set — i.e. iff the comparison producing `v` was true in that lane).
+inline unsigned lane_mask(__m256i v) {
+  return static_cast<unsigned>(
+      _mm256_movemask_pd(_mm256_castsi256_pd(v)));
+}
+
+}  // namespace
+
+Height reduce_max_avx2(const Height* p, std::size_t n) {
+  std::size_t i = 0;
+  Height m;
+  if (n >= 4) {
+    // Two accumulators hide the cmpgt+blend latency chain.
+    __m256i acc0 = loadu(p);
+    i = 4;
+    if (n >= 8) {
+      __m256i acc1 = loadu(p + 4);
+      i = 8;
+      for (; i + 8 <= n; i += 8) {
+        acc0 = max_epi64(acc0, loadu(p + i));
+        acc1 = max_epi64(acc1, loadu(p + i + 4));
+      }
+      acc0 = max_epi64(acc0, acc1);
+    }
+    for (; i + 4 <= n; i += 4) acc0 = max_epi64(acc0, loadu(p + i));
+    m = hmax_epi64(acc0);
+  } else {
+    m = p[0];
+    i = 1;
+  }
+  for (; i < n; ++i) m = std::max(m, p[i]);
+  return m;
+}
+
+Height reduce_min_avx2(const Height* p, std::size_t n) {
+  std::size_t i = 0;
+  Height m;
+  if (n >= 4) {
+    __m256i acc0 = loadu(p);
+    i = 4;
+    if (n >= 8) {
+      __m256i acc1 = loadu(p + 4);
+      i = 8;
+      for (; i + 8 <= n; i += 8) {
+        acc0 = min_epi64(acc0, loadu(p + i));
+        acc1 = min_epi64(acc1, loadu(p + i + 4));
+      }
+      acc0 = min_epi64(acc0, acc1);
+    }
+    for (; i + 4 <= n; i += 4) acc0 = min_epi64(acc0, loadu(p + i));
+    m = hmin_epi64(acc0);
+  } else {
+    m = p[0];
+    i = 1;
+  }
+  for (; i < n; ++i) m = std::min(m, p[i]);
+  return m;
+}
+
+void add_delta_avx2(Height* p, std::size_t n, Height delta) {
+  const __m256i d = _mm256_set1_epi64x(delta);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) storeu(p + i, _mm256_add_epi64(loadu(p + i), d));
+  for (; i < n; ++i) p[i] += delta;
+}
+
+void raise_floor_avx2(Height* p, std::size_t n, Height floor) {
+  const __m256i f = _mm256_set1_epi64x(floor);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) storeu(p + i, max_epi64(loadu(p + i), f));
+  for (; i < n; ++i) p[i] = std::max(p[i], floor);
+}
+
+void max_combine_avx2(const Height* a, const Height* b, Height* out,
+                      std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    storeu(out + i, max_epi64(loadu(a + i), loadu(b + i)));
+  }
+  for (; i < n; ++i) out[i] = std::max(a[i], b[i]);
+}
+
+std::size_t first_leq_avx2(const Height* p, std::size_t n, Height threshold) {
+  const __m256i t = _mm256_set1_epi64x(threshold);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // Lane mask of p > threshold; any clear bit is a p <= threshold lane.
+    const unsigned gt = lane_mask(_mm256_cmpgt_epi64(loadu(p + i), t));
+    if (gt != 0xFu) {
+      return i + static_cast<std::size_t>(
+                     __builtin_ctz(~gt & 0xFu));
+    }
+  }
+  for (; i < n; ++i) {
+    if (p[i] <= threshold) return i;
+  }
+  return n;
+}
+
+std::size_t first_eq_avx2(const Height* p, std::size_t n, Height value) {
+  const __m256i v = _mm256_set1_epi64x(value);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const unsigned eq = lane_mask(_mm256_cmpeq_epi64(loadu(p + i), v));
+    if (eq != 0u) {
+      return i + static_cast<std::size_t>(__builtin_ctz(eq));
+    }
+  }
+  for (; i < n; ++i) {
+    if (p[i] == value) return i;
+  }
+  return n;
+}
+
+std::size_t first_ne_avx2(const Height* p, std::size_t n, Height value) {
+  const __m256i v = _mm256_set1_epi64x(value);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const unsigned eq = lane_mask(_mm256_cmpeq_epi64(loadu(p + i), v));
+    if (eq != 0xFu) {
+      return i + static_cast<std::size_t>(__builtin_ctz(~eq & 0xFu));
+    }
+  }
+  for (; i < n; ++i) {
+    if (p[i] != value) return i;
+  }
+  return n;
+}
+
+}  // namespace dsp::simd::detail
+
+#endif  // !defined(DSP_NO_AVX2)

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <span>
+
+#include "core/arena.hpp"
+#include "core/instance.hpp"
+
+namespace dsp {
+
+/// Reusable buffers for sliding_window_maxima.  One scratch per consumer
+/// (StripOccupancy, the bottom-left skyline) amortizes the three W-sized
+/// buffers across every call instead of allocating per query.
+struct WindowMaximaScratch {
+  AlignedVec<Height> prefix;  ///< per-block running max, left to right
+  AlignedVec<Height> suffix;  ///< per-block running max, right to left
+  AlignedVec<Height> out;     ///< the maxima, returned as a span
+};
+
+/// Sliding-window maxima over a dense load array: out[x] = max load over
+/// [x, x + width) for every start x in [0, |load| - width], returned as a
+/// span into `scratch` (valid until its next use).  Requires
+/// 1 <= width <= |load|.
+///
+/// This is THE shared implementation of the M[x] pass — StripOccupancy's
+/// first_fit / min_peak_position and the bottom-left skyline all consume it
+/// instead of carrying per-caller loops.  The algorithm is the two-scan
+/// block decomposition (blocks of `width`; prefix max within each block,
+/// suffix max within each block, M[x] = max(suffix[x], prefix[x+width-1])):
+/// flat sequential scans plus one SIMD max-combine, replacing the
+/// pointer-chasing monotone deque the dense backend used to run.
+[[nodiscard]] std::span<const Height> sliding_window_maxima(
+    std::span<const Height> load, Length width, WindowMaximaScratch& scratch);
+
+}  // namespace dsp

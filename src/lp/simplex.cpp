@@ -25,17 +25,27 @@ ColumnLp::ColumnLp(std::vector<double> rhs, LpOptions options)
     : rows_(rhs.size()),
       options_(options),
       sign_(rows_, 1.0),
-      t_(rows_ + 1),
       basis_(rows_),
       bland_(options.rule == PivotRule::kBland) {
+  width_ = rows_ + 1;
+  stride_ = width_;
+  t_.assign((rows_ + 1) * stride_, 0.0);
   for (std::size_t i = 0; i < rows_; ++i) {
     if (rhs[i] < 0) sign_[i] = -1.0;
-    t_[i].assign(rows_ + 1, 0.0);
-    t_[i][i] = 1.0;  // artificial variable; the block doubles as B^{-1}
-    t_[i].back() = sign_[i] * rhs[i];
+    double* r = row(i);
+    r[i] = 1.0;  // artificial variable; the block doubles as B^{-1}
+    r[width_ - 1] = sign_[i] * rhs[i];
     basis_[i] = i;
   }
-  t_[rows_].assign(rows_ + 1, 0.0);
+}
+
+void ColumnLp::grow(std::size_t stride) {
+  AlignedVec<double> next((rows_ + 1) * stride, 0.0);
+  for (std::size_t i = 0; i <= rows_; ++i) {
+    std::copy_n(t_.data() + i * stride_, width_, next.data() + i * stride);
+  }
+  t_ = std::move(next);
+  stride_ = stride;
 }
 
 std::size_t ColumnLp::add_column(const std::vector<double>& column,
@@ -43,59 +53,64 @@ std::size_t ColumnLp::add_column(const std::vector<double>& column,
   DSP_REQUIRE(column.size() == rows_,
               "ColumnLp::add_column: column has " << column.size()
                                                   << " entries, want " << rows_);
+  if (width_ + 1 > stride_) grow(std::max(stride_ * 2, width_ + 1));
   // Price the new column into the current tableau: B^{-1} (sign-normalized
   // column), where B^{-1} is the artificial block.  Before the first pivot
   // that block is exactly the identity, so the bulk-loading path (the dense
   // solve() wrapper) skips the O(rows^2) multiply.
   for (std::size_t i = 0; i <= rows_; ++i) {
     double v = 0.0;
+    double* r = row(i);
     if (i < rows_) {
       if (identity_) {
         v = sign_[i] * column[i];
       } else {
         for (std::size_t k = 0; k < rows_; ++k) {
-          v += t_[i][k] * sign_[k] * column[k];
+          v += r[k] * sign_[k] * column[k];
         }
       }
     }
-    t_[i].insert(t_[i].end() - 1, v);  // objective cell rebuilt at resolve
+    r[width_] = r[width_ - 1];  // rhs shifts into the headroom cell
+    r[width_ - 1] = v;          // objective cell rebuilt at resolve
   }
+  ++width_;
   costs_.push_back(cost);
   return costs_.size() - 1;
 }
 
 void ColumnLp::rebuild_objective(bool phase1) {
-  std::vector<double>& obj = t_[rows_];
+  double* obj = row(rows_);
   for (std::size_t j = 0; j < rows_; ++j) obj[j] = phase1 ? 1.0 : 0.0;
   for (std::size_t j = 0; j < costs_.size(); ++j) {
     obj[rows_ + j] = phase1 ? 0.0 : costs_[j];
   }
-  obj.back() = 0.0;
+  obj[width_ - 1] = 0.0;
   reduce_objective_row();
 }
 
 void ColumnLp::reduce_objective_row() {
-  std::vector<double>& obj = t_[rows_];
+  double* obj = row(rows_);
   for (std::size_t i = 0; i < rows_; ++i) {
     const double f = obj[basis_[i]];
     if (std::abs(f) < kEps) continue;
-    const std::vector<double>& row = t_[i];
-    for (std::size_t j = 0; j < obj.size(); ++j) obj[j] -= f * row[j];
+    const double* r = row(i);
+    for (std::size_t j = 0; j < width_; ++j) obj[j] -= f * r[j];
   }
 }
 
-void ColumnLp::pivot(std::size_t row, std::size_t col, std::size_t* pivots) {
-  const double p = t_[row][col];
-  for (double& v : t_[row]) v /= p;
+void ColumnLp::pivot(std::size_t prow_index, std::size_t col,
+                     std::size_t* pivots) {
+  double* prow = row(prow_index);
+  const double p = prow[col];
+  for (std::size_t j = 0; j < width_; ++j) prow[j] /= p;
   for (std::size_t i = 0; i <= rows_; ++i) {
-    if (i == row) continue;
-    const double f = t_[i][col];
+    if (i == prow_index) continue;
+    double* irow = row(i);
+    const double f = irow[col];
     if (std::abs(f) < kEps) continue;
-    const std::vector<double>& prow = t_[row];
-    std::vector<double>& irow = t_[i];
-    for (std::size_t j = 0; j < irow.size(); ++j) irow[j] -= f * prow[j];
+    for (std::size_t j = 0; j < width_; ++j) irow[j] -= f * prow[j];
   }
-  basis_[row] = col;
+  basis_[prow_index] = col;
   identity_ = false;
   ++*pivots;
 }
@@ -106,7 +121,7 @@ ColumnLp::IterateOutcome ColumnLp::iterate(bool phase1, std::size_t* pivots) {
   for (;;) {
     // Entering column: real columns only — artificial columns are excluded
     // structurally, so they can never re-enter the basis.
-    const std::vector<double>& obj = t_[rows_];
+    const double* obj = row(rows_);
     std::size_t pivot_col = rows_ + n;
     if (bland_) {
       for (std::size_t j = rows_; j < rows_ + n; ++j) {
@@ -135,12 +150,12 @@ ColumnLp::IterateOutcome ColumnLp::iterate(bool phase1, std::size_t* pivots) {
     std::size_t pivot_row = rows_;
     double best_ratio = std::numeric_limits<double>::infinity();
     for (std::size_t i = 0; i < rows_; ++i) {
-      const double coef = t_[i][pivot_col];
+      const double coef = row(i)[pivot_col];
       double ratio;
       if (coef > kEps) {
-        ratio = t_[i].back() / coef;
+        ratio = rhs(i) / coef;
       } else if (coef < -kPivotTol && basis_[i] < rows_ &&
-                 t_[i].back() <= kFeasTol * -coef) {
+                 rhs(i) <= kFeasTol * -coef) {
         // Accepting this pivot makes the entering variable basic at
         // rhs / coef, a *negative* value of magnitude rhs / |coef| — the
         // guard keeps that within kFeasTol, so a sub-tolerance phase-1
@@ -170,19 +185,19 @@ ColumnLp::IterateOutcome ColumnLp::iterate(bool phase1, std::size_t* pivots) {
     if (!phase1) {
       for (std::size_t i = 0; i < rows_; ++i) {
         if (i == pivot_row || basis_[i] >= rows_) continue;
-        const double coef = t_[i][pivot_col];
-        if (coef < -kEps && t_[i].back() <= kFeasTol &&
-            t_[i].back() - coef * best_ratio > kFeasTol) {
+        const double coef = row(i)[pivot_col];
+        if (coef < -kEps && rhs(i) <= kFeasTol &&
+            rhs(i) - coef * best_ratio > kFeasTol) {
           return IterateOutcome::kNumericalFailure;
         }
       }
     }
-    const double before = t_[rows_].back();
+    const double before = rhs(rows_);
     pivot(pivot_row, pivot_col, pivots);
     // Stall detection: a run of degenerate pivots under Dantzig engages
     // Bland's rule permanently (anti-cycling).
     if (!bland_) {
-      if (t_[rows_].back() > before + kEps) {
+      if (rhs(rows_) > before + kEps) {
         stalled = 0;
       } else if (++stalled >= options_.stall_pivots) {
         bland_ = true;
@@ -200,7 +215,8 @@ std::vector<double> ColumnLp::duals_for(bool phase1) const {
     const double cost = phase1 ? (artificial ? 1.0 : 0.0)
                                : (artificial ? 0.0 : costs_[basis_[i] - rows_]);
     if (std::abs(cost) < kEps) continue;
-    for (std::size_t k = 0; k < rows_; ++k) y[k] += cost * t_[i][k];
+    const double* r = row(i);
+    for (std::size_t k = 0; k < rows_; ++k) y[k] += cost * r[k];
   }
   for (std::size_t k = 0; k < rows_; ++k) y[k] *= sign_[k];
   return y;
@@ -225,7 +241,7 @@ const LpSolution& ColumnLp::resolve() {
     // failure and is reported as infeasible.
     rebuild_objective(/*phase1=*/true);
     const IterateOutcome outcome = iterate(/*phase1=*/true, &pivots);
-    const double infeasibility = -t_[rows_].back();
+    const double infeasibility = -rhs(rows_);
     if (outcome != IterateOutcome::kOptimal || infeasibility > kFeasTol) {
       solution_.status = LpStatus::kInfeasible;
       solution_.basis = external_basis();
@@ -249,8 +265,8 @@ const LpSolution& ColumnLp::resolve() {
     for (std::size_t i = 0; i < rows_; ++i) {
       if (basis_[i] >= rows_) continue;
       for (std::size_t j = rows_; j < rows_ + costs_.size(); ++j) {
-        const double coef = std::abs(t_[i][j]);
-        if (coef >= kPivotTol && std::abs(t_[i].back()) <= kFeasTol * coef) {
+        const double coef = std::abs(row(i)[j]);
+        if (coef >= kPivotTol && std::abs(rhs(i)) <= kFeasTol * coef) {
           pivot(i, j, &pivots);
           break;
         }
@@ -283,7 +299,7 @@ const LpSolution& ColumnLp::resolve() {
   solution_.x.assign(costs_.size(), 0.0);
   for (std::size_t i = 0; i < rows_; ++i) {
     if (basis_[i] >= rows_) {
-      solution_.x[basis_[i] - rows_] = std::max(0.0, t_[i].back());
+      solution_.x[basis_[i] - rows_] = std::max(0.0, rhs(i));
     }
   }
   solution_.objective = 0.0;

@@ -3,6 +3,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/arena.hpp"
+
 namespace dsp::lp {
 
 /// Primal simplex solvers for the configuration LPs of Lemmas 10 and 11:
@@ -119,8 +121,23 @@ class ColumnLp {
   /// system), [rows_, rows_ + n) the real columns in add order, and the
   /// last entry of each row is the right-hand side.  Row rows_ is the
   /// objective row in reduced form (rhs cell = -objective).
+  ///
+  /// Storage is one flat aligned buffer: row i starts at t_[i * stride_]
+  /// and holds width_ = rows_ + n + 1 live cells.  stride_ >= width_ is the
+  /// allocated pitch; add_column writes into the headroom (shifting only
+  /// the rhs cell) and grow() re-pitches when the headroom runs out, so a
+  /// pivot streams contiguous doubles instead of chasing one heap block
+  /// per row.
   enum class IterateOutcome { kOptimal, kUnbounded, kNumericalFailure };
 
+  [[nodiscard]] double* row(std::size_t i) { return t_.data() + i * stride_; }
+  [[nodiscard]] const double* row(std::size_t i) const {
+    return t_.data() + i * stride_;
+  }
+  [[nodiscard]] double rhs(std::size_t i) const {
+    return row(i)[width_ - 1];
+  }
+  void grow(std::size_t stride);
   void rebuild_objective(bool phase1);
   void reduce_objective_row();
   IterateOutcome iterate(bool phase1, std::size_t* pivots);
@@ -129,10 +146,12 @@ class ColumnLp {
 
   std::size_t rows_;
   LpOptions options_;
-  std::vector<double> sign_;            ///< per-row +-1 (rhs normalization)
-  std::vector<double> costs_;           ///< per real column
-  std::vector<std::vector<double>> t_;  ///< tableau incl. objective row
-  std::vector<std::size_t> basis_;      ///< internal column index per row
+  std::vector<double> sign_;        ///< per-row +-1 (rhs normalization)
+  std::vector<double> costs_;       ///< per real column
+  AlignedVec<double> t_;            ///< flat tableau incl. objective row
+  std::size_t width_ = 0;           ///< live cells per row (incl. rhs)
+  std::size_t stride_ = 0;          ///< allocated row pitch (>= width_)
+  std::vector<std::size_t> basis_;  ///< internal column index per row
   bool feasible_ = false;               ///< phase 1 already completed
   bool bland_ = false;                  ///< permanent Bland fallback engaged
   bool identity_ = true;                ///< no pivot yet: B^{-1} == I

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <memory>
 #include <numeric>
+#include <span>
 #include <vector>
 
 #include "core/profile.hpp"
+#include "core/window_maxima.hpp"
 
 namespace dsp::sp {
 
@@ -78,18 +80,40 @@ SpPacking bottom_left(const Instance& instance, ProfileBackendKind backend) {
   SpPacking packing;
   packing.position.resize(instance.size());
   Skyline skyline(w, backend, instance.size());
+  // On the dense backend, evaluate all breakpoint candidates against one
+  // shared sliding-window-maxima pass (core/window_maxima.hpp) instead of a
+  // per-breakpoint O(width) roof query; the chosen position is identical
+  // (same candidates, same leftmost-strict-min rule).
+  const std::span<const Height> loads = skyline.profile->dense_loads();
+  WindowMaximaScratch scratch;
   for (const std::size_t i : order) {
     const Item& it = instance.item(i);
     // Candidate x positions: skyline breakpoints (left-justified placements).
     Length best_x = 0;
-    Height best_y = skyline.roof(0, it.width);
-    for (std::size_t s = 1; s + 1 < skyline.xs.size(); ++s) {
-      const Length x = skyline.xs[s];
-      if (x + it.width > w) break;
-      const Height y = skyline.roof(x, it.width);
-      if (y < best_y) {
-        best_y = y;
-        best_x = x;
+    Height best_y;
+    if (!loads.empty()) {
+      const std::span<const Height> maxima =
+          sliding_window_maxima(loads, it.width, scratch);
+      best_y = maxima[0];
+      for (std::size_t s = 1; s + 1 < skyline.xs.size(); ++s) {
+        const Length x = skyline.xs[s];
+        if (x + it.width > w) break;
+        const Height y = maxima[static_cast<std::size_t>(x)];
+        if (y < best_y) {
+          best_y = y;
+          best_x = x;
+        }
+      }
+    } else {
+      best_y = skyline.roof(0, it.width);
+      for (std::size_t s = 1; s + 1 < skyline.xs.size(); ++s) {
+        const Length x = skyline.xs[s];
+        if (x + it.width > w) break;
+        const Height y = skyline.roof(x, it.width);
+        if (y < best_y) {
+          best_y = y;
+          best_x = x;
+        }
       }
     }
     packing.position[i] = SpPlacement{best_x, best_y};

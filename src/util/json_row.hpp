@@ -76,4 +76,47 @@ class JsonRow {
   std::vector<std::string> parts_;
 };
 
+/// Appends the machine/compiler provenance fields every bench JSON row
+/// carries: cpu ISA flags (runtime-detected), compiler id+version, build
+/// type.  Rows from different machines/toolchains then self-describe, so a
+/// checked-in trajectory (BENCH_PR6.json) can be compared apples-to-apples.
+/// The dsp_solve serving wire format deliberately does NOT call this — its
+/// output is golden-diffed byte for byte in CI and must stay
+/// machine-independent.
+inline JsonRow& machine_fields(JsonRow& row) {
+  std::string cpu;
+#if defined(__GNUC__) && defined(__x86_64__)
+  __builtin_cpu_init();
+  const auto append = [&cpu](bool supported, const char* flag) {
+    if (!supported) return;
+    if (!cpu.empty()) cpu += ' ';
+    cpu += flag;
+  };
+  // __builtin_cpu_supports demands literal arguments, hence the unrolling.
+  append(__builtin_cpu_supports("sse4.2"), "sse4.2");
+  append(__builtin_cpu_supports("avx"), "avx");
+  append(__builtin_cpu_supports("avx2"), "avx2");
+  append(__builtin_cpu_supports("avx512f"), "avx512f");
+#endif
+  row.field("cpu_flags", cpu);
+#if defined(__clang__)
+  row.field("compiler", std::string("clang ") + __VERSION__);
+#elif defined(__GNUC__)
+  row.field("compiler", std::string("gcc ") + __VERSION__);
+#else
+  row.field("compiler", "unknown");
+#endif
+#if defined(NDEBUG)
+  row.field("build", "release");
+#else
+  row.field("build", "debug");
+#endif
+  return row;
+}
+
+/// Rvalue overload so the usual `machine_fields(JsonRow()).field(...)`
+/// chain-from-a-temporary works (the reference stays valid for the full
+/// statement, exactly like JsonRow's own chaining).
+inline JsonRow& machine_fields(JsonRow&& row) { return machine_fields(row); }
+
 }  // namespace dsp
