@@ -80,6 +80,9 @@ struct SolveCache::Shard {
   };
 
   std::mutex mutex;
+  /// This shard's slice of the total budget (the capacity_bytes %
+  /// shard_count remainder is spread one byte per leading shard).
+  std::size_t capacity = 0;
   /// Front = most recently used; eviction pops the back.
   std::list<Entry> lru;
   std::unordered_map<CacheKey, std::list<Entry>::iterator, KeyHash> resident;
@@ -92,16 +95,58 @@ struct SolveCache::Shard {
   std::uint64_t misses = 0;
   std::uint64_t inflight_joins = 0;
   std::uint64_t evictions = 0;
+  std::uint64_t oversized = 0;
   std::size_t bytes = 0;
+
+  /// Makes `key` the shard's most-recent entry with `value`, charging
+  /// `value_bytes` and evicting cold entries past the budget.  Call with
+  /// the shard mutex held and value_bytes <= capacity.
+  void insert_locked(const CacheKey& key,
+                     std::shared_ptr<const CachedSolve> value,
+                     std::size_t value_bytes) {
+    if (const auto it = resident.find(key); it != resident.end()) {
+      // Replace in place (warm-load replay over a snapshot entry).
+      bytes -= it->second->bytes;
+      lru.splice(lru.begin(), lru, it->second);
+      lru.front().value = std::move(value);
+      lru.front().bytes = value_bytes;
+    } else {
+      lru.push_front(Entry{key, std::move(value), value_bytes});
+      resident.emplace(key, lru.begin());
+    }
+    bytes += value_bytes;
+    // Evict cold entries past the budget.  The new entry is at the front
+    // and fits on its own, so it is never its own victim.
+    while (bytes > capacity && lru.size() > 1) {
+      const Entry& victim = lru.back();
+      bytes -= victim.bytes;
+      resident.erase(victim.key);
+      lru.pop_back();
+      ++evictions;
+    }
+  }
 };
+
+/// A shard narrower than this is useless (a single small entry charges
+/// kEntryOverhead alone), so tiny budgets collapse to fewer shards instead
+/// of rounding every shard's share toward zero.
+constexpr std::size_t kMinShardBytes = 4096;
 
 SolveCache::SolveCache(const CacheOptions& options)
     : capacity_bytes_(options.capacity_bytes) {
-  const std::size_t shard_count = std::max<std::size_t>(1, options.shards);
-  per_shard_capacity_ = capacity_bytes_ / shard_count;
+  DSP_REQUIRE(capacity_bytes_ > 0,
+              "SolveCache: capacity_bytes must be positive; to serve without "
+              "caching use ServeParams::bypass_cache (--no-cache), not a "
+              "zero-byte cache");
+  std::size_t shard_count = std::max<std::size_t>(1, options.shards);
+  shard_count = std::min(
+      shard_count, std::max<std::size_t>(1, capacity_bytes_ / kMinShardBytes));
+  const std::size_t base = capacity_bytes_ / shard_count;
+  const std::size_t remainder = capacity_bytes_ % shard_count;
   shards_.reserve(shard_count);
   for (std::size_t i = 0; i < shard_count; ++i) {
     shards_.push_back(std::make_unique<Shard>());
+    shards_.back()->capacity = base + (i < remainder ? 1 : 0);
   }
 }
 
@@ -154,25 +199,63 @@ SolveCache::Lookup SolveCache::get_or_compute(
     throw;
   }
 
+  bool inserted = false;
   {
     const std::lock_guard<std::mutex> lock(shard.mutex);
     shard.inflight.erase(key);
-    shard.lru.push_front(Shard::Entry{key, value, entry_bytes(*value)});
-    shard.resident.emplace(key, shard.lru.begin());
-    shard.bytes += shard.lru.front().bytes;
-    // Evict cold entries past the shard's budget.  A value bigger than the
-    // whole budget evicts itself right away — such answers are effectively
-    // uncacheable rather than allowed to pin the shard.
-    while (shard.bytes > per_shard_capacity_ && !shard.lru.empty()) {
-      const Shard::Entry& victim = shard.lru.back();
-      shard.bytes -= victim.bytes;
-      shard.resident.erase(victim.key);
-      shard.lru.pop_back();
-      ++shard.evictions;
+    // A value bigger than the shard's whole budget is uncacheable: it is
+    // never inserted, and — crucially — never evicts resident entries.
+    // (The old insert-then-shrink order flushed every warm entry before
+    // finally evicting the oversized newcomer itself.)
+    const std::size_t bytes = entry_bytes(*value);
+    if (bytes > shard.capacity) {
+      ++shard.oversized;
+    } else {
+      shard.insert_locked(key, value, bytes);
+      inserted = true;
     }
   }
   promise.set_value(value);
+  if (inserted && insert_observer_) insert_observer_(key, value);
   return Lookup{std::move(value), CacheOutcome::kMiss};
+}
+
+void SolveCache::insert(const CacheKey& key, CachedSolve value) {
+  auto shared = std::make_shared<const CachedSolve>(std::move(value));
+  const std::size_t bytes = entry_bytes(*shared);
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  if (bytes > shard.capacity) {
+    ++shard.oversized;
+    return;
+  }
+  shard.insert_locked(key, std::move(shared), bytes);
+}
+
+std::vector<CacheEntryView> SolveCache::export_entries() const {
+  std::vector<CacheEntryView> entries;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    // Cold to warm: replaying the export through insert() reproduces each
+    // shard's recency order.
+    for (auto it = shard->lru.rbegin(); it != shard->lru.rend(); ++it) {
+      entries.push_back(CacheEntryView{it->key, it->value});
+    }
+  }
+  return entries;
+}
+
+void SolveCache::set_insert_observer(InsertObserver observer) {
+  insert_observer_ = std::move(observer);
+}
+
+std::vector<std::size_t> SolveCache::shard_capacities() const {
+  std::vector<std::size_t> capacities;
+  capacities.reserve(shards_.size());
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    capacities.push_back(shard->capacity);
+  }
+  return capacities;
 }
 
 CacheStats SolveCache::stats() const {
@@ -183,6 +266,7 @@ CacheStats SolveCache::stats() const {
     total.misses += shard->misses;
     total.inflight_joins += shard->inflight_joins;
     total.evictions += shard->evictions;
+    total.oversized += shard->oversized;
     total.entries += shard->resident.size();
     total.bytes += shard->bytes;
   }

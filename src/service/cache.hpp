@@ -101,10 +101,15 @@ struct CachedSolve {
 
 struct CacheOptions {
   /// Total value-byte budget across all shards (the sum of per-entry packing
-  /// and winner payloads; an entry larger than its shard's share is evicted
-  /// immediately and effectively uncacheable).
+  /// and winner payloads).  Must be positive: a zero-byte cache would
+  /// silently reject every insert, so the constructor throws InvalidInput
+  /// and points at ServeParams::bypass_cache instead.  An entry larger than
+  /// its shard's share is never inserted (counted as CacheStats::oversized);
+  /// resident entries are untouched by such a request.
   std::size_t capacity_bytes = 64ull << 20;
-  /// Lock shards; clamped to >= 1.
+  /// Lock shards; clamped to >= 1, and clamped *down* when the budget is
+  /// too small to give every shard a useful share (see kMinShardBytes) —
+  /// a tiny budget degrades to fewer shards, never to zero-byte shards.
   std::size_t shards = 8;
 };
 
@@ -120,12 +125,29 @@ struct CacheStats {
   std::uint64_t misses = 0;
   std::uint64_t inflight_joins = 0;
   std::uint64_t evictions = 0;
+  /// Values larger than their shard's whole budget: never inserted (and
+  /// never allowed to evict resident entries on the way out).
+  std::uint64_t oversized = 0;
   std::uint64_t entries = 0;  ///< currently resident
   std::uint64_t bytes = 0;    ///< currently charged
 };
 
+/// One resident entry, as exported for persistence (persist.hpp).  The
+/// value pointer aliases the live cache entry — treat it as a snapshot.
+struct CacheEntryView {
+  CacheKey key;
+  std::shared_ptr<const CachedSolve> value;
+};
+
 class SolveCache {
  public:
+  /// Called after every get_or_compute insert, outside the shard lock —
+  /// the persistence layer's append hook.  Warm-load inserts (insert())
+  /// are deliberately NOT observed, or log replay would re-append itself.
+  using InsertObserver =
+      std::function<void(const CacheKey&, const std::shared_ptr<const CachedSolve>&)>;
+
+  /// Throws InvalidInput on a zero-byte capacity budget.
   explicit SolveCache(const CacheOptions& options = {});
   ~SolveCache();
 
@@ -146,10 +168,33 @@ class SolveCache {
   [[nodiscard]] Lookup get_or_compute(
       const CacheKey& key, const std::function<CachedSolve()>& compute);
 
+  /// Direct insert for warm loads (persistence replay): makes `key`
+  /// resident and most-recently-used, replacing any previous value.  Does
+  /// not touch the hit/miss counters and does not notify the insert
+  /// observer.  Oversized values count as CacheStats::oversized and are
+  /// not inserted, exactly like the get_or_compute path.
+  void insert(const CacheKey& key, CachedSolve value);
+
+  /// Every resident entry, shard by shard, cold-to-warm inside each shard —
+  /// re-`insert`ing the result in order reproduces each shard's recency
+  /// order.  A consistent snapshot only when no writer is concurrent.
+  [[nodiscard]] std::vector<CacheEntryView> export_entries() const;
+
+  /// Installs the persistence append hook.  Must be installed before the
+  /// cache is shared across threads (the daemon wires it at boot, before
+  /// serving): the observer slot itself is unsynchronized.
+  void set_insert_observer(InsertObserver observer);
+
   /// Aggregated over shards (each shard's counters are read under its own
   /// lock; the sum is a consistent snapshot only when idle).
   [[nodiscard]] CacheStats stats() const;
   [[nodiscard]] std::size_t capacity_bytes() const { return capacity_bytes_; }
+  /// Actual shard count: the requested one, clamped so every shard's share
+  /// of the budget stays useful (small budgets collapse to fewer shards).
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  /// Per-shard byte budgets.  Invariant: they sum to capacity_bytes() —
+  /// the capacity_bytes % shard_count remainder is distributed, not dropped.
+  [[nodiscard]] std::vector<std::size_t> shard_capacities() const;
   /// Drops every resident entry (in-flight computations are unaffected).
   void clear();
 
@@ -159,8 +204,8 @@ class SolveCache {
   [[nodiscard]] Shard& shard_for(const CacheKey& key) const;
 
   std::size_t capacity_bytes_;
-  std::size_t per_shard_capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  InsertObserver insert_observer_;
 };
 
 // ---------------------------------------------------------------------------
@@ -219,6 +264,9 @@ class CachingSolver {
   [[nodiscard]] const ServeParams& params() const { return params_; }
   [[nodiscard]] std::uint64_t fingerprint() const { return fingerprint_; }
   [[nodiscard]] CacheStats stats() const { return cache_.stats(); }
+  /// The underlying cache, for persistence (warm load, export, the insert
+  /// observer).  Entries are keyed by this solver's fingerprint.
+  [[nodiscard]] SolveCache& cache() { return cache_; }
 
  private:
   [[nodiscard]] CachedSolve compute_canonical(const Instance& canonical) const;

@@ -1,0 +1,497 @@
+#include "service/daemon.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "runtime/thread_pool.hpp"
+#include "service/binary_codec.hpp"
+#include "util/check.hpp"
+
+namespace dsp::service {
+
+namespace {
+
+// Frame types (daemon.hpp documents the framing).  Requests and responses
+// are separate numbering spaces — direction disambiguates.
+constexpr std::uint8_t kFrameSolve = 1;    // request
+constexpr std::uint8_t kFrameStats = 2;    // request
+constexpr std::uint8_t kFrameSolveOk = 1;  // response
+constexpr std::uint8_t kFrameError = 2;    // response
+constexpr std::uint8_t kFrameStatsOk = 3;  // response
+constexpr std::uint8_t kFrameBusy = 4;     // response
+
+/// Largest payload either side accepts; a corrupt length prefix fails here
+/// instead of as a multi-gigabyte allocation.
+constexpr std::size_t kMaxFramePayload = 64ull << 20;
+
+[[nodiscard]] ssize_t recv_some(int fd, char* buffer, std::size_t count) {
+  for (;;) {
+    const ssize_t got = ::recv(fd, buffer, count, 0);
+    if (got >= 0 || errno != EINTR) return got;
+  }
+}
+
+/// Reads exactly `count` bytes; false on EOF or a connection error.
+[[nodiscard]] bool recv_exact(int fd, char* buffer, std::size_t count) {
+  std::size_t got = 0;
+  while (got < count) {
+    const ssize_t chunk = recv_some(fd, buffer + got, count - got);
+    if (chunk <= 0) return false;
+    got += static_cast<std::size_t>(chunk);
+  }
+  return true;
+}
+
+/// Writes all of `count` bytes; false on a connection error.  MSG_NOSIGNAL
+/// turns a peer hangup into EPIPE instead of killing the process.
+[[nodiscard]] bool send_all(int fd, const char* buffer, std::size_t count) {
+  std::size_t sent = 0;
+  while (sent < count) {
+    const ssize_t chunk = ::send(fd, buffer + sent, count - sent, MSG_NOSIGNAL);
+    if (chunk < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(chunk);
+  }
+  return true;
+}
+
+[[nodiscard]] bool write_frame(int fd, std::uint8_t type,
+                               const std::string& payload) {
+  detail::BinaryWriter frame;
+  frame.u32(static_cast<std::uint32_t>(payload.size()));
+  frame.u8(type);
+  frame.raw(payload);
+  return send_all(fd, frame.bytes().data(), frame.bytes().size());
+}
+
+[[nodiscard]] std::string encode_message(const std::string& message) {
+  detail::BinaryWriter payload;
+  payload.str(message);
+  return payload.take();
+}
+
+[[nodiscard]] std::string decode_message(std::string payload,
+                                         const std::string& source) {
+  detail::BinaryReader reader(std::move(payload), source);
+  std::string message = reader.str();
+  reader.done();
+  return message;
+}
+
+[[nodiscard]] std::string encode_solve_ok(const SolveResponse& response) {
+  detail::BinaryWriter payload;
+  payload.u8(static_cast<std::uint8_t>(response.outcome));
+  payload.i64(response.peak);
+  payload.str(response.winner);
+  payload.u64(response.packing.start.size());
+  for (const Length start : response.packing.start) payload.i64(start);
+  return payload.take();
+}
+
+[[nodiscard]] SolveResponse decode_solve_ok(std::string payload,
+                                            const std::string& source) {
+  detail::BinaryReader reader(std::move(payload), source);
+  SolveResponse response;
+  const std::uint8_t outcome = reader.u8();
+  if (outcome > static_cast<std::uint8_t>(CacheOutcome::kJoined)) {
+    reader.fail("bad cache-outcome byte " + std::to_string(outcome), 0);
+  }
+  response.outcome = static_cast<CacheOutcome>(outcome);
+  response.peak = reader.i64();
+  response.winner = reader.str();
+  const std::size_t count = reader.count(8);
+  response.packing.start.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    response.packing.start.push_back(reader.i64());
+  }
+  reader.done();
+  return response;
+}
+
+[[nodiscard]] std::string encode_stats(const WireStats& stats) {
+  detail::BinaryWriter payload;
+  payload.str(stats.engine);
+  payload.u64(stats.capacity_bytes);
+  payload.u64(stats.cache.hits);
+  payload.u64(stats.cache.misses);
+  payload.u64(stats.cache.inflight_joins);
+  payload.u64(stats.cache.evictions);
+  payload.u64(stats.cache.oversized);
+  payload.u64(stats.cache.entries);
+  payload.u64(stats.cache.bytes);
+  payload.u64(stats.daemon.accepted);
+  payload.u64(stats.daemon.requests);
+  payload.u64(stats.daemon.served);
+  payload.u64(stats.daemon.shed);
+  payload.u64(stats.daemon.errors);
+  payload.u64(stats.daemon.warm_loaded);
+  payload.boolean(stats.daemon.draining);
+  payload.u64(stats.persisted_appends);
+  payload.u64(stats.compactions);
+  return payload.take();
+}
+
+[[nodiscard]] WireStats decode_stats(std::string payload,
+                                     const std::string& source) {
+  detail::BinaryReader reader(std::move(payload), source);
+  WireStats stats;
+  stats.engine = reader.str();
+  stats.capacity_bytes = reader.u64();
+  stats.cache.hits = reader.u64();
+  stats.cache.misses = reader.u64();
+  stats.cache.inflight_joins = reader.u64();
+  stats.cache.evictions = reader.u64();
+  stats.cache.oversized = reader.u64();
+  stats.cache.entries = reader.u64();
+  stats.cache.bytes = reader.u64();
+  stats.daemon.accepted = reader.u64();
+  stats.daemon.requests = reader.u64();
+  stats.daemon.served = reader.u64();
+  stats.daemon.shed = reader.u64();
+  stats.daemon.errors = reader.u64();
+  stats.daemon.warm_loaded = reader.u64();
+  stats.daemon.draining = reader.boolean();
+  stats.persisted_appends = reader.u64();
+  stats.compactions = reader.u64();
+  reader.done();
+  return stats;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Daemon.
+// ---------------------------------------------------------------------------
+
+Daemon::Daemon(const DaemonOptions& options)
+    : options_(options),
+      solver_(options.serve, options.cache),
+      gate_(options.max_concurrent != 0
+                ? options.max_concurrent
+                : runtime::ThreadPool::hardware_threads(),
+            options.max_queue) {
+  if (!options_.persist_dir.empty()) {
+    store_.emplace(options_.persist_dir, options_.snapshot_every);
+    warm_loaded_ = store_->warm_load(solver_.cache());
+    // Wired before any serving thread exists (set_insert_observer's
+    // contract); the observer runs outside the shard locks, so the store's
+    // own compaction may re-enter export_entries() safely.
+    solver_.cache().set_insert_observer(
+        [this](const CacheKey& key,
+               const std::shared_ptr<const CachedSolve>& value) {
+          store_->append(solver_.cache(), key, *value);
+        });
+  }
+
+  DSP_REQUIRE(::pipe(stop_pipe_) == 0,
+              "dsp_served: cannot create stop pipe: " << std::strerror(errno));
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  DSP_REQUIRE(listen_fd_ >= 0,
+              "dsp_served: cannot create socket: " << std::strerror(errno));
+  const int reuse = 1;
+  (void)::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse,
+                     sizeof(reuse));
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(options_.port);
+  DSP_REQUIRE(::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&address),
+                     sizeof(address)) == 0,
+              "dsp_served: cannot bind 127.0.0.1:" << options_.port << ": "
+                                                   << std::strerror(errno));
+  DSP_REQUIRE(::listen(listen_fd_, 64) == 0,
+              "dsp_served: cannot listen: " << std::strerror(errno));
+  sockaddr_in bound{};
+  socklen_t bound_size = sizeof(bound);
+  DSP_REQUIRE(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                            &bound_size) == 0,
+              "dsp_served: getsockname failed: " << std::strerror(errno));
+  port_ = ntohs(bound.sin_port);
+}
+
+Daemon::~Daemon() {
+  stop();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  for (const int fd : stop_pipe_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+void Daemon::start() {
+  DSP_REQUIRE(!started_.exchange(true), "dsp_served: start() called twice");
+  accept_thread_ = std::thread([this]() { accept_loop(); });
+}
+
+void Daemon::stop() {
+  if (stopped_.exchange(true)) return;
+  draining_.store(true);
+  gate_.close();
+  // One byte wakes every poll() on the stop pipe: nobody reads it, so the
+  // readiness is level-triggered and permanent.
+  [[maybe_unused]] const ssize_t wrote = ::write(stop_pipe_[1], "x", 1);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> connections;
+  {
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections.swap(connections_);
+  }
+  for (std::thread& connection : connections) connection.join();
+  // Close the listener now (not in the destructor): a drained daemon must
+  // refuse new connections, not park them in the kernel backlog.
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Drained: park the cache on disk so the next boot starts warm from a
+  // pure snapshot.
+  if (store_) store_->compact(solver_.cache());
+}
+
+DaemonStats Daemon::stats() const {
+  DaemonStats stats;
+  stats.accepted = accepted_.load();
+  stats.requests = requests_.load();
+  stats.served = served_.load();
+  stats.shed = shed_.load();
+  stats.errors = errors_.load();
+  stats.warm_loaded = warm_loaded_;
+  stats.draining = draining_.load();
+  return stats;
+}
+
+WireStats Daemon::wire_stats() const {
+  WireStats stats;
+  stats.engine = std::string(to_string(options_.serve.engine));
+  stats.capacity_bytes = options_.cache.capacity_bytes;
+  stats.cache = solver_.stats();
+  stats.daemon = this->stats();
+  if (store_) {
+    stats.persisted_appends = store_->appends();
+    stats.compactions = store_->compactions();
+  }
+  return stats;
+}
+
+void Daemon::accept_loop() {
+  for (;;) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (fds[1].revents != 0) return;  // draining
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;
+    }
+    ++accepted_;
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections_.emplace_back([this, fd]() { serve_connection(fd); });
+  }
+}
+
+void Daemon::serve_connection(int fd) {
+  for (;;) {
+    pollfd fds[2] = {{fd, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    // The connection is checked first: a request that raced the drain is
+    // still read and answered (with `busy` once the gate is closed).
+    if (fds[0].revents != 0) {
+      char header[5];
+      if (!recv_exact(fd, header, sizeof(header))) break;  // EOF / reset
+      std::uint32_t length = 0;
+      for (int i = 0; i < 4; ++i) {
+        length |= static_cast<std::uint32_t>(
+                      static_cast<std::uint8_t>(header[i]))
+                  << (8 * i);
+      }
+      const std::uint8_t type = static_cast<std::uint8_t>(header[4]);
+      if (length > kMaxFramePayload) {
+        ++errors_;
+        (void)write_frame(fd, kFrameError,
+                          encode_message("frame payload of " +
+                                         std::to_string(length) +
+                                         " bytes exceeds the limit"));
+        break;
+      }
+      std::string payload(length, '\0');
+      if (length > 0 && !recv_exact(fd, payload.data(), length)) break;
+      ++requests_;
+      if (!handle_frame(fd, type, std::move(payload))) break;
+      continue;
+    }
+    if (fds[1].revents != 0) break;  // draining and idle
+  }
+  ::close(fd);
+}
+
+bool Daemon::handle_frame(int fd, std::uint8_t type, std::string payload) {
+  using Ticket = runtime::AdmissionGate::Ticket;
+  switch (type) {
+    case kFrameSolve: {
+      try {
+        std::istringstream is(std::move(payload));
+        const WireInstance wire = load_instance(is, "tcp-request");
+        const Instance instance = wire.to_instance();
+        const runtime::AdmissionSlot slot(gate_, gate_.enter());
+        if (slot.ticket() != Ticket::kAdmitted) {
+          ++shed_;
+          return write_frame(
+              fd, kFrameBusy,
+              encode_message(slot.ticket() == Ticket::kClosed
+                                 ? "draining: daemon is shutting down"
+                                 : "overloaded: admission queue full"));
+        }
+        const SolveResponse response = solver_.solve(instance);
+        ++served_;
+        return write_frame(fd, kFrameSolveOk, encode_solve_ok(response));
+      } catch (const std::exception& error) {
+        ++errors_;
+        return write_frame(fd, kFrameError, encode_message(error.what()));
+      }
+    }
+    case kFrameStats:
+      return write_frame(fd, kFrameStatsOk, encode_stats(wire_stats()));
+    default:
+      ++errors_;
+      // Unknown type: answer, then close — the payload boundary of the
+      // *next* frame can no longer be trusted.
+      (void)write_frame(fd, kFrameError,
+                        encode_message("unknown request frame type " +
+                                       std::to_string(type)));
+      return false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DaemonClient.
+// ---------------------------------------------------------------------------
+
+DaemonClient::DaemonClient(std::uint16_t port, const std::string& host,
+                           int connect_timeout_ms)
+    : peer_(host + ":" + std::to_string(port)) {
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  DSP_REQUIRE(::inet_pton(AF_INET, host.c_str(), &address.sin_addr) == 1,
+              peer_ << ": not a numeric IPv4 address");
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(connect_timeout_ms);
+  for (;;) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    DSP_REQUIRE(fd_ >= 0,
+                peer_ << ": cannot create socket: " << std::strerror(errno));
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&address),
+                  sizeof(address)) == 0) {
+      return;
+    }
+    const int error = errno;
+    ::close(fd_);
+    fd_ = -1;
+    // Refused = the daemon is (re)booting; retry inside the window.
+    DSP_REQUIRE(error == ECONNREFUSED &&
+                    std::chrono::steady_clock::now() < deadline,
+                peer_ << ": cannot connect: " << std::strerror(error));
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+DaemonClient::~DaemonClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void DaemonClient::send_frame(std::uint8_t type, const std::string& payload) {
+  DSP_REQUIRE(payload.size() <= kMaxFramePayload,
+              peer_ << ": request payload of " << payload.size()
+                    << " bytes exceeds the frame limit");
+  DSP_REQUIRE(write_frame(fd_, type, payload),
+              peer_ << ": connection lost while sending: "
+                    << std::strerror(errno));
+}
+
+std::pair<std::uint8_t, std::string> DaemonClient::read_frame() {
+  char header[5];
+  DSP_REQUIRE(recv_exact(fd_, header, sizeof(header)),
+              peer_ << ": connection closed before a reply arrived");
+  std::uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) {
+    length |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(header[i]))
+              << (8 * i);
+  }
+  const std::uint8_t type = static_cast<std::uint8_t>(header[4]);
+  DSP_REQUIRE(length <= kMaxFramePayload,
+              peer_ << ": reply frame of " << length
+                    << " bytes exceeds the limit");
+  std::string payload(length, '\0');
+  DSP_REQUIRE(length == 0 || recv_exact(fd_, payload.data(), length),
+              peer_ << ": connection closed mid-reply");
+  return {type, std::move(payload)};
+}
+
+DaemonClient::SolveReply DaemonClient::try_solve(const WireInstance& instance,
+                                                 WireFormat format) {
+  std::ostringstream os;
+  save_instance(os, instance, format);
+  send_frame(kFrameSolve, std::move(os).str());
+  auto [type, payload] = read_frame();
+  SolveReply reply;
+  switch (type) {
+    case kFrameSolveOk:
+      reply.status = SolveReply::Status::kOk;
+      reply.response = decode_solve_ok(std::move(payload),
+                                       peer_ + ": solve_ok frame");
+      return reply;
+    case kFrameBusy:
+      reply.status = SolveReply::Status::kBusy;
+      reply.message = decode_message(std::move(payload),
+                                     peer_ + ": busy frame");
+      return reply;
+    case kFrameError:
+      reply.status = SolveReply::Status::kError;
+      reply.message = decode_message(std::move(payload),
+                                     peer_ + ": error frame");
+      return reply;
+    default:
+      throw InvalidInput(peer_ + ": unexpected reply frame type " +
+                         std::to_string(type) + " to a solve request");
+  }
+}
+
+SolveResponse DaemonClient::solve(const WireInstance& instance,
+                                  WireFormat format) {
+  SolveReply reply = try_solve(instance, format);
+  DSP_REQUIRE(reply.status != SolveReply::Status::kBusy,
+              peer_ << ": request shed: " << reply.message);
+  DSP_REQUIRE(reply.status == SolveReply::Status::kOk,
+              peer_ << ": " << reply.message);
+  return std::move(reply.response);
+}
+
+WireStats DaemonClient::stats() {
+  send_frame(kFrameStats, std::string());
+  auto [type, payload] = read_frame();
+  DSP_REQUIRE(type == kFrameStatsOk,
+              peer_ << ": unexpected reply frame type "
+                    << static_cast<int>(type) << " to a stats request");
+  return decode_stats(std::move(payload), peer_ + ": stats_ok frame");
+}
+
+}  // namespace dsp::service

@@ -1,0 +1,308 @@
+// dsp_served — the serving daemon's executable front door (DESIGN.md, "The
+// serving daemon").
+//
+// Daemon mode (the default) binds a loopback TCP port, serves DSPW solve
+// requests through the canonicalizing single-flight solve cache, and — with
+// --persist — keeps the cache warm across restarts via the snapshot +
+// append-log store.  It prints one "ready" JSON row (machine-readable port,
+// since --port 0 asks the kernel), then runs until SIGTERM/SIGINT, drains
+// gracefully, and prints a "drained" row with its lifetime counters.
+//
+//   dsp_served [--port P] [--engine portfolio|solve54]
+//              [--backend auto|dense|sparse] [--threads N] [--cache-mb M]
+//              [--max-concurrent N] [--max-queue N]
+//              [--persist DIR] [--snapshot-every N]
+//
+// Client mode sends each instance file to a running daemon and prints rows
+// byte-identical to dsp_solve's (the golden corpus guards both):
+//
+//   dsp_served --connect P [--host ADDR] [--repeat R]
+//              [--format binary|json] <file-or-directory>...
+//
+// Exit status: 0 on success, 1 on usage errors, 2 on load/solve/connect
+// failures.
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/bounds.hpp"
+#include "service/cli.hpp"
+#include "service/daemon.hpp"
+#include "service/wire.hpp"
+#include "util/check.hpp"
+#include "util/json_row.hpp"
+
+namespace {
+
+using namespace dsp;
+
+struct CliOptions {
+  service::DaemonOptions daemon;
+  std::size_t cache_mb = 64;
+  // Client mode (--connect).
+  bool connect = false;
+  std::uint16_t connect_port = 0;
+  std::string host = "127.0.0.1";
+  std::size_t repeat = 1;
+  service::WireFormat format = service::WireFormat::kBinary;
+  std::vector<std::string> paths;
+};
+
+void print_usage(std::ostream& os) {
+  os << "usage: dsp_served [--port P] [--engine portfolio|solve54]\n"
+        "                  [--backend auto|dense|sparse] [--threads N] "
+        "[--cache-mb M]\n"
+        "                  [--max-concurrent N] [--max-queue N]\n"
+        "                  [--persist DIR] [--snapshot-every N]\n"
+        "       dsp_served --connect P [--host ADDR] [--repeat R]\n"
+        "                  [--format binary|json] <file-or-directory>...\n";
+}
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::cerr << "dsp_served: " << message << "\n";
+  print_usage(std::cerr);
+  std::exit(1);
+}
+
+/// Parses a nonnegative integer flag value with the strict full-string
+/// rule (service::parse_integer); exits with usage status on garbage.
+[[nodiscard]] std::size_t parse_count(const std::string& flag,
+                                      const std::string& value) {
+  const std::optional<long long> parsed = service::parse_integer(value);
+  if (!parsed || *parsed < 0) {
+    usage_error("bad value for " + flag + ": " + value +
+                " (expected a nonnegative integer)");
+  }
+  return static_cast<std::size_t>(*parsed);
+}
+
+[[nodiscard]] std::uint16_t parse_port(const std::string& flag,
+                                       const std::string& value) {
+  const std::size_t port = parse_count(flag, value);
+  if (port > 65535) {
+    usage_error("bad value for " + flag + ": " + value +
+                " (ports are 0..65535)");
+  }
+  return static_cast<std::uint16_t>(port);
+}
+
+[[nodiscard]] CliOptions parse_args(int argc, char** argv) {
+  CliOptions options;
+  const auto next_value = [&](int& i, const std::string& flag) {
+    if (i + 1 >= argc) usage_error(flag + " needs a value");
+    return std::string(argv[++i]);
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout);
+      std::exit(0);
+    } else if (arg == "--port") {
+      options.daemon.port = parse_port(arg, next_value(i, arg));
+    } else if (arg == "--engine") {
+      const std::string value = next_value(i, arg);
+      if (value == "portfolio") {
+        options.daemon.serve.engine = service::ServeEngine::kPortfolio;
+      } else if (value == "solve54") {
+        options.daemon.serve.engine = service::ServeEngine::kSolve54;
+      } else {
+        usage_error("unknown engine " + value);
+      }
+    } else if (arg == "--backend") {
+      const std::string value = next_value(i, arg);
+      if (value == "auto") {
+        options.daemon.serve.backend = ProfileBackendKind::kAuto;
+      } else if (value == "dense") {
+        options.daemon.serve.backend = ProfileBackendKind::kDense;
+      } else if (value == "sparse") {
+        options.daemon.serve.backend = ProfileBackendKind::kSparse;
+      } else {
+        usage_error("unknown backend " + value);
+      }
+    } else if (arg == "--threads") {
+      options.daemon.serve.threads = parse_count(arg, next_value(i, arg));
+    } else if (arg == "--cache-mb") {
+      options.cache_mb = parse_count(arg, next_value(i, arg));
+      if (options.cache_mb == 0) {
+        usage_error("--cache-mb 0 would be a cache that can hold nothing");
+      }
+    } else if (arg == "--max-concurrent") {
+      options.daemon.max_concurrent = parse_count(arg, next_value(i, arg));
+    } else if (arg == "--max-queue") {
+      options.daemon.max_queue = parse_count(arg, next_value(i, arg));
+    } else if (arg == "--persist") {
+      options.daemon.persist_dir = next_value(i, arg);
+    } else if (arg == "--snapshot-every") {
+      options.daemon.snapshot_every =
+          std::max<std::size_t>(1, parse_count(arg, next_value(i, arg)));
+    } else if (arg == "--connect") {
+      options.connect = true;
+      options.connect_port = parse_port(arg, next_value(i, arg));
+    } else if (arg == "--host") {
+      options.host = next_value(i, arg);
+    } else if (arg == "--repeat") {
+      options.repeat =
+          std::max<std::size_t>(1, parse_count(arg, next_value(i, arg)));
+    } else if (arg == "--format") {
+      const std::string value = next_value(i, arg);
+      if (value == "binary") {
+        options.format = service::WireFormat::kBinary;
+      } else if (value == "json") {
+        options.format = service::WireFormat::kJson;
+      } else {
+        usage_error("unknown format " + value);
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage_error("unknown flag " + arg);
+    } else {
+      options.paths.push_back(arg);
+    }
+  }
+  options.daemon.cache.capacity_bytes = options.cache_mb << 20;
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// Daemon mode.
+// ---------------------------------------------------------------------------
+
+// Self-pipe for SIGTERM/SIGINT: the handler only writes one byte; main
+// blocks on the read end and runs the drain outside signal context.
+int g_signal_pipe[2] = {-1, -1};
+
+extern "C" void on_shutdown_signal(int) {
+  const char byte = 's';
+  [[maybe_unused]] const ssize_t wrote = write(g_signal_pipe[1], &byte, 1);
+}
+
+void install_signal_handlers() {
+  DSP_REQUIRE(pipe(g_signal_pipe) == 0,
+              "dsp_served: cannot create signal pipe: "
+                  << std::strerror(errno));
+  struct sigaction action{};
+  action.sa_handler = on_shutdown_signal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+}
+
+int run_daemon(const CliOptions& options) {
+  service::Daemon daemon(options.daemon);
+  install_signal_handlers();
+  daemon.start();
+  JsonRow()
+      .field("dsp_served", "ready")
+      .field("port", daemon.port())
+      .field("engine",
+             std::string(service::to_string(options.daemon.serve.engine)))
+      .field("cache_mb", options.cache_mb)
+      .field("max_concurrent", daemon.options().max_concurrent)
+      .field("max_queue", daemon.options().max_queue)
+      .field("persist", options.daemon.persist_dir)
+      .field("warm_loaded", daemon.stats().warm_loaded)
+      .print(std::cout);
+  std::cout.flush();
+
+  char byte = 0;
+  while (read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+  daemon.stop();
+  const service::DaemonStats stats = daemon.stats();
+  JsonRow()
+      .field("dsp_served", "drained")
+      .field("accepted", stats.accepted)
+      .field("requests", stats.requests)
+      .field("served", stats.served)
+      .field("shed", stats.shed)
+      .field("errors", stats.errors)
+      .print(std::cout);
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Client mode: rows byte-identical to dsp_solve's.
+// ---------------------------------------------------------------------------
+
+int run_client(const CliOptions& options,
+               const std::vector<std::string>& files) {
+  service::DaemonClient client(options.connect_port, options.host);
+  // The daemon, not this client, owns the engine and the cache budget the
+  // rows report.
+  const service::WireStats server = client.stats();
+
+  std::vector<service::WireInstance> wires;
+  std::vector<Height> lower_bounds;
+  wires.reserve(files.size());
+  for (const std::string& file : files) {
+    wires.push_back(service::load_instance_file(file));
+    lower_bounds.push_back(combined_lower_bound(wires.back().to_instance()));
+  }
+
+  std::size_t requests = 0;
+  for (std::size_t pass = 0; pass < options.repeat; ++pass) {
+    for (std::size_t f = 0; f < wires.size(); ++f) {
+      const service::SolveResponse response =
+          client.solve(wires[f], options.format);
+      ++requests;
+      service::print_answer_row(
+          std::cout, service::AnswerRow{files[f], wires[f].name,
+                                        wires[f].items.size(),
+                                        wires[f].strip_width, server.engine,
+                                        lower_bounds[f], response.peak,
+                                        response.winner, response.outcome});
+    }
+  }
+
+  const service::WireStats after = client.stats();
+  service::print_summary_row(
+      std::cout,
+      service::SummaryRow{requests, files.size(), options.repeat, after.cache,
+                          static_cast<std::size_t>(after.capacity_bytes >> 20)});
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions options = parse_args(argc, argv);
+  if (options.connect) {
+    if (options.paths.empty()) usage_error("no instance files given");
+    // A mistyped path is a usage error, diagnosed before connecting.
+    std::vector<std::string> files;
+    try {
+      files = service::expand_instance_paths(options.paths);
+    } catch (const dsp::InvalidInput& error) {
+      usage_error(error.what());
+    }
+    try {
+      return run_client(options, files);
+    } catch (const dsp::InvalidInput& error) {
+      std::cerr << "dsp_served: " << error.what() << "\n";
+      return 2;
+    } catch (const std::exception& error) {
+      std::cerr << "dsp_served: " << error.what() << "\n";
+      return 2;
+    }
+  }
+  if (!options.paths.empty()) {
+    usage_error("instance files are only served in client mode (--connect)");
+  }
+  try {
+    return run_daemon(options);
+  } catch (const dsp::InvalidInput& error) {
+    std::cerr << "dsp_served: " << error.what() << "\n";
+    return 2;
+  } catch (const std::exception& error) {
+    std::cerr << "dsp_served: " << error.what() << "\n";
+    return 2;
+  }
+}

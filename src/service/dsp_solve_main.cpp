@@ -6,6 +6,8 @@
 // single-flight solve cache, and emits one JSON line per answer plus a
 // summary line with the cache counters — the same flat-row shape the bench
 // harnesses print (util/json_row.hpp), so the same scrapers work on both.
+// The row printers live in service/cli.hpp, shared with dsp_served's client
+// mode, which must stay byte-identical to this output.
 //
 //   dsp_solve [flags] <file-or-directory>...
 //     --engine portfolio|solve54   pipeline to serve with (default portfolio)
@@ -17,9 +19,9 @@
 //     --no-cache                   bypass the cache (responses identical)
 //     --emit-corpus DIR            write the golden gen corpus to DIR and exit
 //
-// Exit status: 0 on success, 1 on usage errors, 2 on load/solve failures.
+// Exit status: 0 on success, 1 on usage errors (bad flags, bad paths),
+// 2 on load/solve failures.
 
-#include <algorithm>
 #include <filesystem>
 #include <iostream>
 #include <string>
@@ -28,9 +30,9 @@
 #include "core/bounds.hpp"
 #include "gen/corpus.hpp"
 #include "service/cache.hpp"
+#include "service/cli.hpp"
 #include "service/wire.hpp"
 #include "util/check.hpp"
-#include "util/json_row.hpp"
 
 namespace {
 
@@ -52,37 +54,29 @@ void print_usage(std::ostream& os) {
         "                 [--emit-corpus DIR] <file-or-directory>...\n";
 }
 
-[[nodiscard]] std::string outcome_name(service::CacheOutcome outcome) {
-  switch (outcome) {
-    case service::CacheOutcome::kHit: return "hit";
-    case service::CacheOutcome::kJoined: return "join";
-    case service::CacheOutcome::kMiss: break;
-  }
-  return "miss";
+[[noreturn]] void usage_error(const std::string& message) {
+  std::cerr << "dsp_solve: " << message << "\n";
+  print_usage(std::cerr);
+  std::exit(1);
 }
 
-/// Parses a nonnegative integer flag value; exits with usage on garbage.
+/// Parses a nonnegative integer flag value with the strict full-string rule
+/// (service::parse_integer): "--threads 4x" is rejected, not served as 4.
+/// Exits with usage status on garbage.
 [[nodiscard]] std::size_t parse_count(const std::string& flag,
                                       const std::string& value) {
-  try {
-    const long long parsed = std::stoll(value);
-    DSP_REQUIRE(parsed >= 0, flag << " must be >= 0");
-    return static_cast<std::size_t>(parsed);
-  } catch (const std::exception&) {
-    std::cerr << "dsp_solve: bad value for " << flag << ": " << value << "\n";
-    print_usage(std::cerr);
-    std::exit(1);
+  const std::optional<long long> parsed = service::parse_integer(value);
+  if (!parsed || *parsed < 0) {
+    usage_error("bad value for " + flag + ": " + value +
+                " (expected a nonnegative integer)");
   }
+  return static_cast<std::size_t>(*parsed);
 }
 
 [[nodiscard]] CliOptions parse_args(int argc, char** argv) {
   CliOptions options;
   const auto next_value = [&](int& i, const std::string& flag) {
-    if (i + 1 >= argc) {
-      std::cerr << "dsp_solve: " << flag << " needs a value\n";
-      print_usage(std::cerr);
-      std::exit(1);
-    }
+    if (i + 1 >= argc) usage_error(flag + " needs a value");
     return std::string(argv[++i]);
   };
   for (int i = 1; i < argc; ++i) {
@@ -97,8 +91,7 @@ void print_usage(std::ostream& os) {
       } else if (value == "solve54") {
         options.serve.engine = service::ServeEngine::kSolve54;
       } else {
-        std::cerr << "dsp_solve: unknown engine " << value << "\n";
-        std::exit(1);
+        usage_error("unknown engine " + value);
       }
     } else if (arg == "--backend") {
       const std::string value = next_value(i, arg);
@@ -109,23 +102,26 @@ void print_usage(std::ostream& os) {
       } else if (value == "sparse") {
         options.serve.backend = ProfileBackendKind::kSparse;
       } else {
-        std::cerr << "dsp_solve: unknown backend " << value << "\n";
-        std::exit(1);
+        usage_error("unknown backend " + value);
       }
     } else if (arg == "--threads") {
       options.serve.threads = parse_count(arg, next_value(i, arg));
     } else if (arg == "--cache-mb") {
       options.cache_mb = parse_count(arg, next_value(i, arg));
+      if (options.cache_mb == 0) {
+        usage_error(
+            "--cache-mb 0 would be a cache that can hold nothing; use "
+            "--no-cache to bypass caching");
+      }
     } else if (arg == "--repeat") {
-      options.repeat = std::max<std::size_t>(1, parse_count(arg, next_value(i, arg)));
+      options.repeat =
+          std::max<std::size_t>(1, parse_count(arg, next_value(i, arg)));
     } else if (arg == "--no-cache") {
       options.serve.bypass_cache = true;
     } else if (arg == "--emit-corpus") {
       options.emit_corpus_dir = next_value(i, arg);
     } else if (!arg.empty() && arg[0] == '-') {
-      std::cerr << "dsp_solve: unknown flag " << arg << "\n";
-      print_usage(std::cerr);
-      std::exit(1);
+      usage_error("unknown flag " + arg);
     } else {
       options.paths.push_back(arg);
     }
@@ -146,31 +142,6 @@ int emit_corpus(const std::string& dir) {
   return 0;
 }
 
-/// Expands files and directories into the served file list.  Directories
-/// contribute their *.json / *.dspi entries in sorted order, so runs are
-/// reproducible regardless of readdir order.
-[[nodiscard]] std::vector<std::string> expand_paths(
-    const std::vector<std::string>& paths) {
-  std::vector<std::string> files;
-  for (const std::string& path : paths) {
-    if (std::filesystem::is_directory(path)) {
-      std::vector<std::string> entries;
-      for (const auto& entry : std::filesystem::directory_iterator(path)) {
-        if (!entry.is_regular_file()) continue;
-        const std::string extension = entry.path().extension().string();
-        if (extension == ".json" || extension == ".dspi") {
-          entries.push_back(entry.path().string());
-        }
-      }
-      std::sort(entries.begin(), entries.end());
-      files.insert(files.end(), entries.begin(), entries.end());
-    } else {
-      files.push_back(path);
-    }
-  }
-  return files;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -179,15 +150,16 @@ int main(int argc, char** argv) {
     return emit_corpus(options.emit_corpus_dir);
   }
   if (options.paths.empty()) {
-    std::cerr << "dsp_solve: no instance files given\n";
-    print_usage(std::cerr);
-    return 1;
+    usage_error("no instance files given");
   }
 
-  const std::vector<std::string> files = expand_paths(options.paths);
-  if (files.empty()) {
-    std::cerr << "dsp_solve: no *.json / *.dspi files found\n";
-    return 1;
+  // Expansion diagnoses mistyped paths and instance-free directories here,
+  // as usage errors — not as a load failure halfway through serving.
+  std::vector<std::string> files;
+  try {
+    files = service::expand_instance_paths(options.paths);
+  } catch (const dsp::InvalidInput& error) {
+    usage_error(error.what());
   }
 
   try {
@@ -219,35 +191,22 @@ int main(int argc, char** argv) {
     const std::vector<service::SolveResponse> responses =
         solver.solve_many(batch);
 
+    const std::string engine =
+        std::string(service::to_string(solver.params().engine));
     for (std::size_t r = 0; r < responses.size(); ++r) {
-      const service::WireInstance& wire = wires[file_of_request[r]];
+      const std::size_t f = file_of_request[r];
       const service::SolveResponse& response = responses[r];
-      JsonRow()
-          .field("file", files[file_of_request[r]])
-          .field("name", wire.name)
-          .field("n", wire.items.size())
-          .field("W", wire.strip_width)
-          .field("engine", std::string(service::to_string(
-                               solver.params().engine)))
-          .field("lb", file_lower_bounds[file_of_request[r]])
-          .field("peak", response.peak)
-          .field("winner", response.winner)
-          .field("cache", outcome_name(response.outcome))
-          .print(std::cout);
+      service::print_answer_row(
+          std::cout,
+          service::AnswerRow{files[f], wires[f].name, wires[f].items.size(),
+                             wires[f].strip_width, engine,
+                             file_lower_bounds[f], response.peak,
+                             response.winner, response.outcome});
     }
-    const service::CacheStats stats = solver.stats();
-    JsonRow()
-        .field("summary", "dsp_solve")
-        .field("requests", responses.size())
-        .field("files", files.size())
-        .field("repeat", options.repeat)
-        .field("hits", stats.hits)
-        .field("misses", stats.misses)
-        .field("inflight_joins", stats.inflight_joins)
-        .field("evictions", stats.evictions)
-        .field("entries", stats.entries)
-        .field("cache_mb", options.cache_mb)
-        .print(std::cout);
+    service::print_summary_row(
+        std::cout,
+        service::SummaryRow{responses.size(), files.size(), options.repeat,
+                            solver.stats(), options.cache_mb});
   } catch (const dsp::InvalidInput& error) {
     std::cerr << "dsp_solve: " << error.what() << "\n";
     return 2;

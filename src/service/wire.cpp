@@ -12,6 +12,7 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "service/binary_codec.hpp"
 #include "util/check.hpp"
 
 namespace dsp::service {
@@ -42,145 +43,43 @@ enum class RecordTag : std::uint8_t {
 }
 
 // ---------------------------------------------------------------------------
-// Binary encoding: little-endian fixed-width integers, length-prefixed
-// strings.  The writer appends to a growing buffer; the reader walks a fully
-// slurped buffer and reports the byte offset of every failure.
+// Binary encoding: the shared DSPW primitives (binary_codec.hpp) plus the
+// record framing — magic, version byte, record tag — that is specific to
+// the wire records.
 // ---------------------------------------------------------------------------
 
-class BinaryWriter {
+class BinaryWriter : public detail::BinaryWriter {
  public:
-  void u8(std::uint8_t value) { out_.push_back(static_cast<char>(value)); }
-  void u32(std::uint32_t value) {
-    for (int shift = 0; shift < 32; shift += 8) {
-      out_.push_back(static_cast<char>((value >> shift) & 0xff));
-    }
-  }
-  void u64(std::uint64_t value) {
-    for (int shift = 0; shift < 64; shift += 8) {
-      out_.push_back(static_cast<char>((value >> shift) & 0xff));
-    }
-  }
-  void i64(std::int64_t value) { u64(std::bit_cast<std::uint64_t>(value)); }
-  void boolean(bool value) { u8(value ? 1 : 0); }
-  void str(const std::string& value) {
-    DSP_REQUIRE(value.size() <= std::numeric_limits<std::uint32_t>::max(),
-                "wire string too long: " << value.size() << " bytes");
-    u32(static_cast<std::uint32_t>(value.size()));
-    out_.append(value);
-  }
   void header(RecordTag tag) {
-    out_.append(kMagic.data(), kMagic.size());
+    raw(std::string_view(kMagic.data(), kMagic.size()));
     u8(kWireVersion);
     u8(static_cast<std::uint8_t>(tag));
   }
-
-  [[nodiscard]] const std::string& bytes() const { return out_; }
-
- private:
-  std::string out_;
 };
 
-class BinaryReader {
+class BinaryReader : public detail::BinaryReader {
  public:
-  BinaryReader(std::string bytes, std::string source)
-      : bytes_(std::move(bytes)), source_(std::move(source)) {}
+  using detail::BinaryReader::BinaryReader;
 
-  [[nodiscard]] std::size_t offset() const { return offset_; }
-
-  [[noreturn]] void fail(const std::string& what,
-                         std::size_t at_offset) const {
-    throw InvalidInput(source_ + ": " + what + " (offset " +
-                       std::to_string(at_offset) + ")");
-  }
-  [[noreturn]] void fail(const std::string& what) const { fail(what, offset_); }
-
-  std::uint8_t u8() {
-    need(1, "u8");
-    return static_cast<std::uint8_t>(bytes_[offset_++]);
-  }
-  std::uint32_t u32() {
-    need(4, "u32");
-    std::uint32_t value = 0;
-    for (int shift = 0; shift < 32; shift += 8) {
-      value |= static_cast<std::uint32_t>(
-                   static_cast<std::uint8_t>(bytes_[offset_++]))
-               << shift;
-    }
-    return value;
-  }
-  std::uint64_t u64() {
-    need(8, "u64");
-    std::uint64_t value = 0;
-    for (int shift = 0; shift < 64; shift += 8) {
-      value |= static_cast<std::uint64_t>(
-                   static_cast<std::uint8_t>(bytes_[offset_++]))
-               << shift;
-    }
-    return value;
-  }
-  std::int64_t i64() { return std::bit_cast<std::int64_t>(u64()); }
-  bool boolean() {
-    const std::uint8_t value = u8();
-    if (value > 1) fail("boolean byte must be 0 or 1", offset_ - 1);
-    return value == 1;
-  }
-  std::string str() {
-    const std::uint32_t length = u32();
-    need(length, "string body");
-    std::string value = bytes_.substr(offset_, length);
-    offset_ += length;
-    return value;
-  }
-  /// Checked element count for a following array of `element_bytes`-sized
-  /// records: a corrupt huge count fails here instead of as a bad_alloc.
-  std::size_t count(std::size_t element_bytes) {
-    const std::size_t at = offset_;
-    const std::uint64_t value = u64();
-    if (element_bytes > 0 &&
-        value > (bytes_.size() - offset_) / element_bytes) {
-      fail("element count " + std::to_string(value) +
-               " exceeds the remaining payload",
-           at);
-    }
-    return static_cast<std::size_t>(value);
-  }
   void header(RecordTag want) {
-    need(kMagic.size(), "magic");
-    if (std::memcmp(bytes_.data(), kMagic.data(), kMagic.size()) != 0) {
+    const std::string_view magic = raw(kMagic.size(), "magic");
+    if (std::memcmp(magic.data(), kMagic.data(), kMagic.size()) != 0) {
       fail("bad magic (not a DSPW binary record)", 0);
     }
-    offset_ += kMagic.size();
     const std::uint8_t version = u8();
     if (version != kWireVersion) {
       fail("unsupported wire version " + std::to_string(version) +
                " (this build reads version " + std::to_string(kWireVersion) +
                ")",
-           offset_ - 1);
+           offset() - 1);
     }
     const std::uint8_t tag = u8();
     if (tag != static_cast<std::uint8_t>(want)) {
       fail("record tag " + std::to_string(tag) + " is not a " +
                std::string(record_name(want)) + " record",
-           offset_ - 1);
+           offset() - 1);
     }
   }
-  void done() {
-    if (offset_ != bytes_.size()) {
-      fail(std::to_string(bytes_.size() - offset_) +
-           " trailing bytes after the record");
-    }
-  }
-
- private:
-  void need(std::size_t count, const char* what) {
-    if (bytes_.size() - offset_ < count) {
-      fail(std::string("truncated record while reading ") + what);
-    }
-  }
-
-  std::string bytes_;
-  std::string source_;
-  std::size_t offset_ = 0;
 };
 
 // ---------------------------------------------------------------------------

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <atomic>
 #include <future>
+#include <memory>
 #include <optional>
 #include <tuple>
 #include <thread>
@@ -205,6 +206,129 @@ TEST(SolveCacheTest, ClearDropsEntriesButKeepsCounters) {
   EXPECT_EQ(
       cache.get_or_compute(key_of(1), []() { return small_solve(1); }).outcome,
       CacheOutcome::kMiss);
+}
+
+TEST(SolveCacheTest, OversizedEntryDoesNotFlushWarmEntries) {
+  // Regression: an entry larger than the whole shard budget used to evict
+  // every resident entry before discovering it could not fit itself —
+  // one pathological request flushed the warm cache.
+  SolveCache cache(CacheOptions{4 * 200, 1});
+  const auto fill = [&cache](std::uint64_t k) {
+    return cache.get_or_compute(key_of(k), [k]() {
+      return small_solve(static_cast<Height>(k));
+    });
+  };
+  for (std::uint64_t k = 1; k <= 3; ++k) (void)fill(k);
+  const CacheStats before = cache.stats();
+  ASSERT_EQ(before.entries, 3u);
+  ASSERT_EQ(before.evictions, 0u);
+
+  CachedSolve big;
+  big.packing.start = {0};
+  big.peak = 99;
+  big.winner = std::string(2000, 'w');  // > the 800-byte shard budget
+  const auto lookup = cache.get_or_compute(key_of(99), [&big]() { return big; });
+  // The answer is still served (and counted as a miss)...
+  EXPECT_EQ(lookup.outcome, CacheOutcome::kMiss);
+  EXPECT_EQ(lookup.value->winner, big.winner);
+
+  // ...but the residents are untouched: no evictions, same entries/bytes,
+  // and the oversized request is counted distinctly.
+  const CacheStats after = cache.stats();
+  EXPECT_EQ(after.entries, before.entries);
+  EXPECT_EQ(after.bytes, before.bytes);
+  EXPECT_EQ(after.evictions, 0u);
+  EXPECT_EQ(after.oversized, 1u);
+  for (std::uint64_t k = 1; k <= 3; ++k) {
+    EXPECT_EQ(fill(k).outcome, CacheOutcome::kHit) << "key " << k;
+  }
+  // The oversized value was never inserted: same request misses again.
+  EXPECT_EQ(cache.get_or_compute(key_of(99), [&big]() { return big; }).outcome,
+            CacheOutcome::kMiss);
+  EXPECT_EQ(cache.stats().oversized, 2u);
+}
+
+TEST(SolveCacheTest, ZeroCapacityBudgetIsRejectedLoudly) {
+  // Regression: capacity 0 (or a tiny budget integer-divided across many
+  // shards) used to build zero-byte shards that silently dropped every
+  // insert — a 0% hit rate with no diagnostic.
+  const CacheOptions zero_budget{0, 8};
+  EXPECT_THROW(SolveCache cache(zero_budget), InvalidInput);
+  EXPECT_THROW(CachingSolver solver(ServeParams{}, zero_budget), InvalidInput);
+}
+
+TEST(SolveCacheTest, TinyBudgetCollapsesShardsAndStillCaches) {
+  // 1 KiB over 8 requested shards used to mean 8 shards of 128 B — none
+  // able to hold a real entry.  The shard count now collapses instead.
+  SolveCache cache(CacheOptions{1024, 8});
+  EXPECT_EQ(cache.shard_count(), 1u);
+  (void)cache.get_or_compute(key_of(1), []() { return small_solve(1); });
+  EXPECT_EQ(
+      cache.get_or_compute(key_of(1), []() { return small_solve(1); }).outcome,
+      CacheOutcome::kHit);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(SolveCacheTest, ShardCapacitiesSumToTheBudget) {
+  // The capacity % shards remainder is distributed, not dropped.
+  const std::size_t budget = (32 << 10) + 5;
+  SolveCache cache(CacheOptions{budget, 3});
+  const std::vector<std::size_t> capacities = cache.shard_capacities();
+  ASSERT_EQ(capacities.size(), 3u);
+  std::size_t sum = 0;
+  for (const std::size_t capacity : capacities) sum += capacity;
+  EXPECT_EQ(sum, budget);
+  const auto [lo, hi] = std::minmax_element(capacities.begin(), capacities.end());
+  EXPECT_LE(*hi - *lo, 1u);
+}
+
+TEST(SolveCacheTest, WarmInsertSkipsCountersAndObserver) {
+  SolveCache cache(CacheOptions{64 << 10, 2});
+  int notified = 0;
+  cache.set_insert_observer(
+      [&notified](const CacheKey&, const std::shared_ptr<const CachedSolve>&) {
+        ++notified;
+      });
+  // Warm-load insert: resident, but no counter movement and no observer
+  // callback (replaying a log must not re-append it).
+  cache.insert(key_of(1), small_solve(5));
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+  EXPECT_EQ(notified, 0);
+  EXPECT_EQ(
+      cache.get_or_compute(key_of(1), []() { return small_solve(5); }).outcome,
+      CacheOutcome::kHit);
+  // A real computed miss notifies exactly once.
+  (void)cache.get_or_compute(key_of(2), []() { return small_solve(6); });
+  EXPECT_EQ(notified, 1);
+}
+
+TEST(SolveCacheTest, ExportEntriesRoundTripsRecencyThroughInsert) {
+  SolveCache cache(CacheOptions{4 * 200, 1});
+  const auto fill = [&cache](std::uint64_t k) {
+    return cache.get_or_compute(key_of(k), [k]() {
+      return small_solve(static_cast<Height>(k));
+    });
+  };
+  (void)fill(1);
+  (void)fill(2);
+  (void)fill(3);
+  (void)fill(1);  // 1 becomes the warmest entry
+
+  // Re-inserting the export in order reproduces the recency order in a
+  // fresh cache: under pressure the same keys survive.
+  SolveCache copy(CacheOptions{4 * 200, 1});
+  for (const CacheEntryView& entry : cache.export_entries()) {
+    copy.insert(entry.key, *entry.value);
+  }
+  const auto fill_copy = [&copy](std::uint64_t k) {
+    return copy.get_or_compute(key_of(k), [k]() {
+      return small_solve(static_cast<Height>(k));
+    });
+  };
+  (void)fill_copy(4);
+  (void)fill_copy(5);  // evicts the cold end: 2, then 3 — never 1
+  EXPECT_EQ(fill_copy(1).outcome, CacheOutcome::kHit);
 }
 
 // ---------------------------------------------------------------------------
