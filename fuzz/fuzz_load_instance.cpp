@@ -1,0 +1,63 @@
+// libFuzzer harness for the wire-format instance loader (DESIGN.md,
+// "Static analysis" → fuzzing).
+//
+// load_instance is the serving stack's front door: every byte a client
+// sends — dsp_solve file arguments and dsp_served solve payloads alike —
+// goes through it, and its contract is "throw InvalidInput with a useful
+// message, never crash, never accept garbage".  The harness feeds raw
+// bytes straight into the auto-detecting loader (binary magic vs. JSON),
+// treats InvalidInput as the expected rejection, and lets anything else —
+// a signal, a sanitizer report, another exception type — surface as a
+// finding.
+//
+// On an accepted input it also checks the round-trip invariant the format
+// documents (`load(save(x)) == x` for both encodings), so the fuzzer
+// hunts codec asymmetries, not just parser crashes.
+//
+// Build with -DDSP_FUZZ=ON.  Under a compiler with -fsanitize=fuzzer this
+// is a real libFuzzer binary; otherwise it links the standalone replay
+// driver (standalone_main.cpp) that runs corpus files once each, which is
+// what the ctest regression entries use.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "service/wire.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+void check_round_trip(const dsp::service::WireInstance& instance,
+                      dsp::service::WireFormat format) {
+  std::ostringstream os;
+  dsp::service::save_instance(os, instance, format);
+  std::istringstream is(std::move(os).str());
+  const dsp::service::WireInstance reloaded =
+      dsp::service::load_instance(is, "fuzz round-trip");
+  if (!(reloaded == instance)) {
+    std::fprintf(stderr, "fuzz_load_instance: %s round-trip mismatch\n",
+                 std::string(dsp::service::to_string(format)).c_str());
+    std::abort();
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  std::istringstream is(
+      std::string(reinterpret_cast<const char*>(data), size));
+  dsp::service::WireInstance instance;
+  try {
+    instance = dsp::service::load_instance(is, "fuzz input");
+  } catch (const dsp::InvalidInput&) {
+    return 0;  // the documented rejection path
+  }
+  check_round_trip(instance, dsp::service::WireFormat::kBinary);
+  check_round_trip(instance, dsp::service::WireFormat::kJson);
+  return 0;
+}

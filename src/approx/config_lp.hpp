@@ -48,6 +48,8 @@ struct VerticalFillScratch {
   /// configuration, all rows in one contiguous buffer.
   std::vector<int> config_storage;
   /// Content hash -> candidate (box, config id) pairs, verified exactly.
+  // det-lint: allow(unordered-container): probed by key only (dedup[h] in
+  // intern_config); never iterated, so its order cannot reach a result.
   std::unordered_map<std::uint64_t, std::vector<std::pair<std::size_t, std::size_t>>>
       dedup;
   std::vector<PricingScratch> pricing;  ///< one per distinct box capacity

@@ -12,10 +12,10 @@
 // graceful shutdown finishes the work it accepted.
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
+
+#include "runtime/sync.hpp"
 
 namespace dsp::runtime {
 
@@ -38,7 +38,7 @@ class AdmissionGate {
   /// Acquires an admission slot, blocking in the bounded queue if the gate
   /// is at capacity.  Every kAdmitted must be paired with one leave().
   [[nodiscard]] Ticket enter() {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (closed_) {
       ++closed_rejects_;
       return Ticket::kClosed;
@@ -51,7 +51,7 @@ class AdmissionGate {
       ++waiting_;
       ++queued_;
       peak_waiting_ = std::max(peak_waiting_, waiting_);
-      slot_free_.wait(lock, [this]() { return active_ < capacity_; });
+      while (active_ >= capacity_) slot_free_.wait(lock);
       --waiting_;
     }
     ++active_;
@@ -62,7 +62,7 @@ class AdmissionGate {
   /// Releases an admission slot (pairs with a kAdmitted ticket).
   void leave() {
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       --active_;
     }
     slot_free_.notify_one();
@@ -71,12 +71,12 @@ class AdmissionGate {
   /// Starts the drain: new enter() calls get kClosed; admitted and queued
   /// callers are unaffected.  Idempotent.
   void close() {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     closed_ = true;
   }
 
   [[nodiscard]] bool closed() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     return closed_;
   }
 
@@ -91,7 +91,7 @@ class AdmissionGate {
   };
 
   [[nodiscard]] Counters counters() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     return Counters{admitted_, queued_,  shed_,        closed_rejects_,
                     active_,   waiting_, peak_waiting_};
   }
@@ -103,16 +103,16 @@ class AdmissionGate {
   const std::size_t capacity_;
   const std::size_t max_queue_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable slot_free_;
-  bool closed_ = false;
-  std::size_t active_ = 0;
-  std::size_t waiting_ = 0;
-  std::size_t peak_waiting_ = 0;
-  std::uint64_t admitted_ = 0;
-  std::uint64_t queued_ = 0;
-  std::uint64_t shed_ = 0;
-  std::uint64_t closed_rejects_ = 0;
+  mutable Mutex mutex_;
+  CondVar slot_free_;
+  bool closed_ DSP_GUARDED_BY(mutex_) = false;
+  std::size_t active_ DSP_GUARDED_BY(mutex_) = 0;
+  std::size_t waiting_ DSP_GUARDED_BY(mutex_) = 0;
+  std::size_t peak_waiting_ DSP_GUARDED_BY(mutex_) = 0;
+  std::uint64_t admitted_ DSP_GUARDED_BY(mutex_) = 0;
+  std::uint64_t queued_ DSP_GUARDED_BY(mutex_) = 0;
+  std::uint64_t shed_ DSP_GUARDED_BY(mutex_) = 0;
+  std::uint64_t closed_rejects_ DSP_GUARDED_BY(mutex_) = 0;
 };
 
 /// Releases the gate slot at scope exit when the ticket was kAdmitted.

@@ -1,12 +1,12 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "runtime/sync.hpp"
 
 namespace dsp::runtime {
 
@@ -42,7 +42,7 @@ class Channel {
   /// (the value is dropped).
   bool push(T value) {
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       if (closed_) return false;
       queue_.push_back(Slot{std::move(value), nullptr});
     }
@@ -54,7 +54,7 @@ class Channel {
   /// false iff the channel was already closed (the slot is dropped).
   bool push_exception(std::exception_ptr error) {
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       if (closed_) return false;
       queue_.push_back(Slot{std::nullopt, std::move(error)});
     }
@@ -66,7 +66,7 @@ class Channel {
   /// poppable; once drained, `pop` returns nullopt.
   void close() {
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       closed_ = true;
     }
     ready_.notify_all();
@@ -76,29 +76,36 @@ class Channel {
   /// Returns the next value, rethrows the next exception slot, or returns
   /// nullopt at end-of-stream.
   std::optional<T> pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    ready_.wait(lock, [this]() { return closed_ || !queue_.empty(); });
-    return take(lock);
+    MutexLock lock(mutex_);
+    while (!closed_ && queue_.empty()) ready_.wait(lock);
+    if (queue_.empty()) return std::nullopt;
+    Slot slot = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    return resolve(std::move(slot));
   }
 
   /// Non-blocking pop: nullopt when no slot is buffered (whether or not the
   /// stream has closed — poll `closed()` to distinguish).
   std::optional<T> try_pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (queue_.empty()) return std::nullopt;
-    return take(lock);
+    Slot slot = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    return resolve(std::move(slot));
   }
 
   /// True once `close` was called.  A true result does not mean drained:
   /// buffered slots may still be pending.
   [[nodiscard]] bool closed() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     return closed_;
   }
 
   /// Buffered (not yet popped) slot count.
   [[nodiscard]] std::size_t pending() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     return queue_.size();
   }
 
@@ -108,21 +115,17 @@ class Channel {
     std::exception_ptr error;
   };
 
-  /// Pops the front slot with `lock` held; unlocks before rethrowing so a
-  /// throwing consumer never holds the channel mutex.
-  std::optional<T> take(std::unique_lock<std::mutex>& lock) {
-    if (queue_.empty()) return std::nullopt;
-    Slot slot = std::move(queue_.front());
-    queue_.pop_front();
-    lock.unlock();
+  /// Turns a dequeued slot into the consumer-facing result.  Runs outside
+  /// the lock scope, so a throwing consumer never holds the channel mutex.
+  static std::optional<T> resolve(Slot slot) {
     if (slot.error) std::rethrow_exception(slot.error);
     return std::move(slot.value);
   }
 
-  mutable std::mutex mutex_;
-  std::condition_variable ready_;
-  std::deque<Slot> queue_;
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  CondVar ready_;
+  std::deque<Slot> queue_ DSP_GUARDED_BY(mutex_);
+  bool closed_ DSP_GUARDED_BY(mutex_) = false;
 };
 
 /// Closes a channel at scope exit (close is idempotent; a null channel is a

@@ -19,14 +19,16 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     stopping_ = true;
   }
   work_available_.notify_all();
   for (std::thread& worker : workers_) worker.join();
   // Invariant: submit refuses once stopping_ is set and workers drain before
   // exiting, so no enqueued task (hence no outstanding future) can be left
-  // behind after the joins.
+  // behind after the joins.  (All workers are joined, but the queue_ read
+  // still formally needs the capability.)
+  const MutexLock lock(mutex_);
   assert(queue_.empty());
 }
 
@@ -34,9 +36,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(lock,
-                           [this]() { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) work_available_.wait(lock);
       // Drain the queue even when stopping: every submitted future must
       // become ready, or a waiting caller would deadlock on a destroyed pool.
       if (queue_.empty()) return;

@@ -1,17 +1,16 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "runtime/sync.hpp"
 #include "util/check.hpp"
 
 namespace dsp::runtime {
@@ -58,7 +57,7 @@ class ThreadPool {
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(task));
     std::future<R> result = packaged->get_future();
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       DSP_REQUIRE(!stopping_,
                   "ThreadPool::submit on a stopping pool: every task must be "
                   "submitted before the pool's destructor begins");
@@ -72,10 +71,10 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  bool stopping_ = false;
+  Mutex mutex_;
+  CondVar work_available_;
+  std::deque<std::function<void()>> queue_ DSP_GUARDED_BY(mutex_);
+  bool stopping_ DSP_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace dsp::runtime

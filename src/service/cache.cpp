@@ -3,12 +3,12 @@
 #include <algorithm>
 #include <future>
 #include <list>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 
 #include "algo/portfolio.hpp"
 #include "runtime/parallel.hpp"
+#include "runtime/sync.hpp"
 #include "util/check.hpp"
 #include "util/prng.hpp"
 
@@ -79,31 +79,33 @@ struct SolveCache::Shard {
     std::size_t bytes = 0;
   };
 
-  std::mutex mutex;
+  runtime::Mutex mutex;
   /// This shard's slice of the total budget (the capacity_bytes %
   /// shard_count remainder is spread one byte per leading shard).
+  /// Immutable after construction, hence unguarded.
   std::size_t capacity = 0;
   /// Front = most recently used; eviction pops the back.
-  std::list<Entry> lru;
-  std::unordered_map<CacheKey, std::list<Entry>::iterator, KeyHash> resident;
+  std::list<Entry> lru DSP_GUARDED_BY(mutex);
+  std::unordered_map<CacheKey, std::list<Entry>::iterator, KeyHash> resident
+      DSP_GUARDED_BY(mutex);
   /// Keys currently being computed; joiners wait on the shared future.
   std::unordered_map<CacheKey,
                      std::shared_future<std::shared_ptr<const CachedSolve>>,
                      KeyHash>
-      inflight;
-  std::uint64_t hits = 0;
-  std::uint64_t misses = 0;
-  std::uint64_t inflight_joins = 0;
-  std::uint64_t evictions = 0;
-  std::uint64_t oversized = 0;
-  std::size_t bytes = 0;
+      inflight DSP_GUARDED_BY(mutex);
+  std::uint64_t hits DSP_GUARDED_BY(mutex) = 0;
+  std::uint64_t misses DSP_GUARDED_BY(mutex) = 0;
+  std::uint64_t inflight_joins DSP_GUARDED_BY(mutex) = 0;
+  std::uint64_t evictions DSP_GUARDED_BY(mutex) = 0;
+  std::uint64_t oversized DSP_GUARDED_BY(mutex) = 0;
+  std::size_t bytes DSP_GUARDED_BY(mutex) = 0;
 
   /// Makes `key` the shard's most-recent entry with `value`, charging
-  /// `value_bytes` and evicting cold entries past the budget.  Call with
-  /// the shard mutex held and value_bytes <= capacity.
+  /// `value_bytes` and evicting cold entries past the budget.  Requires
+  /// the shard mutex (compiler-enforced) and value_bytes <= capacity.
   void insert_locked(const CacheKey& key,
                      std::shared_ptr<const CachedSolve> value,
-                     std::size_t value_bytes) {
+                     std::size_t value_bytes) DSP_REQUIRES(mutex) {
     if (const auto it = resident.find(key); it != resident.end()) {
       // Replace in place (warm-load replay over a snapshot entry).
       bytes -= it->second->bytes;
@@ -161,7 +163,7 @@ SolveCache::Lookup SolveCache::get_or_compute(
   Shard& shard = shard_for(key);
   std::promise<std::shared_ptr<const CachedSolve>> promise;
   {
-    std::unique_lock<std::mutex> lock(shard.mutex);
+    runtime::MutexLock lock(shard.mutex);
     if (const auto it = shard.resident.find(key);
         it != shard.resident.end()) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
@@ -190,7 +192,7 @@ SolveCache::Lookup SolveCache::get_or_compute(
     value = std::make_shared<const CachedSolve>(compute());
   } catch (...) {
     {
-      const std::lock_guard<std::mutex> lock(shard.mutex);
+      const runtime::MutexLock lock(shard.mutex);
       shard.inflight.erase(key);
     }
     // Joiners that already hold the future get the same exception; the next
@@ -201,7 +203,7 @@ SolveCache::Lookup SolveCache::get_or_compute(
 
   bool inserted = false;
   {
-    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const runtime::MutexLock lock(shard.mutex);
     shard.inflight.erase(key);
     // A value bigger than the shard's whole budget is uncacheable: it is
     // never inserted, and — crucially — never evicts resident entries.
@@ -224,7 +226,7 @@ void SolveCache::insert(const CacheKey& key, CachedSolve value) {
   auto shared = std::make_shared<const CachedSolve>(std::move(value));
   const std::size_t bytes = entry_bytes(*shared);
   Shard& shard = shard_for(key);
-  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const runtime::MutexLock lock(shard.mutex);
   if (bytes > shard.capacity) {
     ++shard.oversized;
     return;
@@ -235,7 +237,7 @@ void SolveCache::insert(const CacheKey& key, CachedSolve value) {
 std::vector<CacheEntryView> SolveCache::export_entries() const {
   std::vector<CacheEntryView> entries;
   for (const std::unique_ptr<Shard>& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard->mutex);
+    const runtime::MutexLock lock(shard->mutex);
     // Cold to warm: replaying the export through insert() reproduces each
     // shard's recency order.
     for (auto it = shard->lru.rbegin(); it != shard->lru.rend(); ++it) {
@@ -261,7 +263,7 @@ std::vector<std::size_t> SolveCache::shard_capacities() const {
 CacheStats SolveCache::stats() const {
   CacheStats total;
   for (const std::unique_ptr<Shard>& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard->mutex);
+    const runtime::MutexLock lock(shard->mutex);
     total.hits += shard->hits;
     total.misses += shard->misses;
     total.inflight_joins += shard->inflight_joins;
@@ -275,7 +277,7 @@ CacheStats SolveCache::stats() const {
 
 void SolveCache::clear() {
   for (const std::unique_ptr<Shard>& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard->mutex);
+    const runtime::MutexLock lock(shard->mutex);
     shard->lru.clear();
     shard->resident.clear();
     shard->bytes = 0;

@@ -13,25 +13,12 @@
 #include <utility>
 
 #include "runtime/thread_pool.hpp"
-#include "service/binary_codec.hpp"
+#include "service/frame_codec.hpp"
 #include "util/check.hpp"
 
 namespace dsp::service {
 
 namespace {
-
-// Frame types (daemon.hpp documents the framing).  Requests and responses
-// are separate numbering spaces — direction disambiguates.
-constexpr std::uint8_t kFrameSolve = 1;    // request
-constexpr std::uint8_t kFrameStats = 2;    // request
-constexpr std::uint8_t kFrameSolveOk = 1;  // response
-constexpr std::uint8_t kFrameError = 2;    // response
-constexpr std::uint8_t kFrameStatsOk = 3;  // response
-constexpr std::uint8_t kFrameBusy = 4;     // response
-
-/// Largest payload either side accepts; a corrupt length prefix fails here
-/// instead of as a multi-gigabyte allocation.
-constexpr std::size_t kMaxFramePayload = 64ull << 20;
 
 [[nodiscard]] ssize_t recv_some(int fd, char* buffer, std::size_t count) {
   for (;;) {
@@ -66,106 +53,12 @@ constexpr std::size_t kMaxFramePayload = 64ull << 20;
   return true;
 }
 
+/// Encodes and writes one whole frame (frame_codec.hpp is the codec; this
+/// is just the socket write).
 [[nodiscard]] bool write_frame(int fd, std::uint8_t type,
                                const std::string& payload) {
-  detail::BinaryWriter frame;
-  frame.u32(static_cast<std::uint32_t>(payload.size()));
-  frame.u8(type);
-  frame.raw(payload);
-  return send_all(fd, frame.bytes().data(), frame.bytes().size());
-}
-
-[[nodiscard]] std::string encode_message(const std::string& message) {
-  detail::BinaryWriter payload;
-  payload.str(message);
-  return payload.take();
-}
-
-[[nodiscard]] std::string decode_message(std::string payload,
-                                         const std::string& source) {
-  detail::BinaryReader reader(std::move(payload), source);
-  std::string message = reader.str();
-  reader.done();
-  return message;
-}
-
-[[nodiscard]] std::string encode_solve_ok(const SolveResponse& response) {
-  detail::BinaryWriter payload;
-  payload.u8(static_cast<std::uint8_t>(response.outcome));
-  payload.i64(response.peak);
-  payload.str(response.winner);
-  payload.u64(response.packing.start.size());
-  for (const Length start : response.packing.start) payload.i64(start);
-  return payload.take();
-}
-
-[[nodiscard]] SolveResponse decode_solve_ok(std::string payload,
-                                            const std::string& source) {
-  detail::BinaryReader reader(std::move(payload), source);
-  SolveResponse response;
-  const std::uint8_t outcome = reader.u8();
-  if (outcome > static_cast<std::uint8_t>(CacheOutcome::kJoined)) {
-    reader.fail("bad cache-outcome byte " + std::to_string(outcome), 0);
-  }
-  response.outcome = static_cast<CacheOutcome>(outcome);
-  response.peak = reader.i64();
-  response.winner = reader.str();
-  const std::size_t count = reader.count(8);
-  response.packing.start.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    response.packing.start.push_back(reader.i64());
-  }
-  reader.done();
-  return response;
-}
-
-[[nodiscard]] std::string encode_stats(const WireStats& stats) {
-  detail::BinaryWriter payload;
-  payload.str(stats.engine);
-  payload.u64(stats.capacity_bytes);
-  payload.u64(stats.cache.hits);
-  payload.u64(stats.cache.misses);
-  payload.u64(stats.cache.inflight_joins);
-  payload.u64(stats.cache.evictions);
-  payload.u64(stats.cache.oversized);
-  payload.u64(stats.cache.entries);
-  payload.u64(stats.cache.bytes);
-  payload.u64(stats.daemon.accepted);
-  payload.u64(stats.daemon.requests);
-  payload.u64(stats.daemon.served);
-  payload.u64(stats.daemon.shed);
-  payload.u64(stats.daemon.errors);
-  payload.u64(stats.daemon.warm_loaded);
-  payload.boolean(stats.daemon.draining);
-  payload.u64(stats.persisted_appends);
-  payload.u64(stats.compactions);
-  return payload.take();
-}
-
-[[nodiscard]] WireStats decode_stats(std::string payload,
-                                     const std::string& source) {
-  detail::BinaryReader reader(std::move(payload), source);
-  WireStats stats;
-  stats.engine = reader.str();
-  stats.capacity_bytes = reader.u64();
-  stats.cache.hits = reader.u64();
-  stats.cache.misses = reader.u64();
-  stats.cache.inflight_joins = reader.u64();
-  stats.cache.evictions = reader.u64();
-  stats.cache.oversized = reader.u64();
-  stats.cache.entries = reader.u64();
-  stats.cache.bytes = reader.u64();
-  stats.daemon.accepted = reader.u64();
-  stats.daemon.requests = reader.u64();
-  stats.daemon.served = reader.u64();
-  stats.daemon.shed = reader.u64();
-  stats.daemon.errors = reader.u64();
-  stats.daemon.warm_loaded = reader.u64();
-  stats.daemon.draining = reader.boolean();
-  stats.persisted_appends = reader.u64();
-  stats.compactions = reader.u64();
-  reader.done();
-  return stats;
+  const std::string bytes = frame::encode_frame(type, payload);
+  return send_all(fd, bytes.data(), bytes.size());
 }
 
 }  // namespace
@@ -243,7 +136,7 @@ void Daemon::stop() {
   if (accept_thread_.joinable()) accept_thread_.join();
   std::vector<std::thread> connections;
   {
-    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    const runtime::MutexLock lock(connections_mutex_);
     connections.swap(connections_);
   }
   for (std::thread& connection : connections) connection.join();
@@ -299,7 +192,7 @@ void Daemon::accept_loop() {
       return;
     }
     ++accepted_;
-    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    const runtime::MutexLock lock(connections_mutex_);
     connections_.emplace_back([this, fd]() { serve_connection(fd); });
   }
 }
@@ -315,27 +208,23 @@ void Daemon::serve_connection(int fd) {
     // The connection is checked first: a request that raced the drain is
     // still read and answered (with `busy` once the gate is closed).
     if (fds[0].revents != 0) {
-      char header[5];
-      if (!recv_exact(fd, header, sizeof(header))) break;  // EOF / reset
-      std::uint32_t length = 0;
-      for (int i = 0; i < 4; ++i) {
-        length |= static_cast<std::uint32_t>(
-                      static_cast<std::uint8_t>(header[i]))
-                  << (8 * i);
-      }
-      const std::uint8_t type = static_cast<std::uint8_t>(header[4]);
-      if (length > kMaxFramePayload) {
+      char bytes[frame::kHeaderSize];
+      if (!recv_exact(fd, bytes, sizeof(bytes))) break;  // EOF / reset
+      const frame::Header header = frame::parse_header(bytes);
+      if (header.length > frame::kMaxPayload) {
         ++errors_;
-        (void)write_frame(fd, kFrameError,
-                          encode_message("frame payload of " +
-                                         std::to_string(length) +
-                                         " bytes exceeds the limit"));
+        (void)write_frame(fd, frame::kError,
+                          frame::encode_message("frame payload of " +
+                                                std::to_string(header.length) +
+                                                " bytes exceeds the limit"));
         break;
       }
-      std::string payload(length, '\0');
-      if (length > 0 && !recv_exact(fd, payload.data(), length)) break;
+      std::string payload(header.length, '\0');
+      if (header.length > 0 && !recv_exact(fd, payload.data(), header.length)) {
+        break;
+      }
       ++requests_;
-      if (!handle_frame(fd, type, std::move(payload))) break;
+      if (!handle_frame(fd, header.type, std::move(payload))) break;
       continue;
     }
     if (fds[1].revents != 0) break;  // draining and idle
@@ -346,7 +235,7 @@ void Daemon::serve_connection(int fd) {
 bool Daemon::handle_frame(int fd, std::uint8_t type, std::string payload) {
   using Ticket = runtime::AdmissionGate::Ticket;
   switch (type) {
-    case kFrameSolve: {
+    case frame::kSolve: {
       try {
         std::istringstream is(std::move(payload));
         const WireInstance wire = load_instance(is, "tcp-request");
@@ -355,28 +244,31 @@ bool Daemon::handle_frame(int fd, std::uint8_t type, std::string payload) {
         if (slot.ticket() != Ticket::kAdmitted) {
           ++shed_;
           return write_frame(
-              fd, kFrameBusy,
-              encode_message(slot.ticket() == Ticket::kClosed
-                                 ? "draining: daemon is shutting down"
-                                 : "overloaded: admission queue full"));
+              fd, frame::kBusy,
+              frame::encode_message(slot.ticket() == Ticket::kClosed
+                                        ? "draining: daemon is shutting down"
+                                        : "overloaded: admission queue full"));
         }
         const SolveResponse response = solver_.solve(instance);
         ++served_;
-        return write_frame(fd, kFrameSolveOk, encode_solve_ok(response));
+        return write_frame(fd, frame::kSolveOk,
+                           frame::encode_solve_ok(response));
       } catch (const std::exception& error) {
         ++errors_;
-        return write_frame(fd, kFrameError, encode_message(error.what()));
+        return write_frame(fd, frame::kError,
+                           frame::encode_message(error.what()));
       }
     }
-    case kFrameStats:
-      return write_frame(fd, kFrameStatsOk, encode_stats(wire_stats()));
+    case frame::kStats:
+      return write_frame(fd, frame::kStatsOk,
+                         frame::encode_stats(wire_stats()));
     default:
       ++errors_;
       // Unknown type: answer, then close — the payload boundary of the
       // *next* frame can no longer be trusted.
-      (void)write_frame(fd, kFrameError,
-                        encode_message("unknown request frame type " +
-                                       std::to_string(type)));
+      (void)write_frame(fd, frame::kError,
+                        frame::encode_message("unknown request frame type " +
+                                              std::to_string(type)));
       return false;
   }
 }
@@ -419,7 +311,7 @@ DaemonClient::~DaemonClient() {
 }
 
 void DaemonClient::send_frame(std::uint8_t type, const std::string& payload) {
-  DSP_REQUIRE(payload.size() <= kMaxFramePayload,
+  DSP_REQUIRE(payload.size() <= frame::kMaxPayload,
               peer_ << ": request payload of " << payload.size()
                     << " bytes exceeds the frame limit");
   DSP_REQUIRE(write_frame(fd_, type, payload),
@@ -428,46 +320,42 @@ void DaemonClient::send_frame(std::uint8_t type, const std::string& payload) {
 }
 
 std::pair<std::uint8_t, std::string> DaemonClient::read_frame() {
-  char header[5];
-  DSP_REQUIRE(recv_exact(fd_, header, sizeof(header)),
+  char bytes[frame::kHeaderSize];
+  DSP_REQUIRE(recv_exact(fd_, bytes, sizeof(bytes)),
               peer_ << ": connection closed before a reply arrived");
-  std::uint32_t length = 0;
-  for (int i = 0; i < 4; ++i) {
-    length |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(header[i]))
-              << (8 * i);
-  }
-  const std::uint8_t type = static_cast<std::uint8_t>(header[4]);
-  DSP_REQUIRE(length <= kMaxFramePayload,
-              peer_ << ": reply frame of " << length
+  const frame::Header header = frame::parse_header(bytes);
+  DSP_REQUIRE(header.length <= frame::kMaxPayload,
+              peer_ << ": reply frame of " << header.length
                     << " bytes exceeds the limit");
-  std::string payload(length, '\0');
-  DSP_REQUIRE(length == 0 || recv_exact(fd_, payload.data(), length),
+  std::string payload(header.length, '\0');
+  DSP_REQUIRE(header.length == 0 ||
+                  recv_exact(fd_, payload.data(), header.length),
               peer_ << ": connection closed mid-reply");
-  return {type, std::move(payload)};
+  return {header.type, std::move(payload)};
 }
 
 DaemonClient::SolveReply DaemonClient::try_solve(const WireInstance& instance,
                                                  WireFormat format) {
   std::ostringstream os;
   save_instance(os, instance, format);
-  send_frame(kFrameSolve, std::move(os).str());
+  send_frame(frame::kSolve, std::move(os).str());
   auto [type, payload] = read_frame();
   SolveReply reply;
   switch (type) {
-    case kFrameSolveOk:
+    case frame::kSolveOk:
       reply.status = SolveReply::Status::kOk;
-      reply.response = decode_solve_ok(std::move(payload),
-                                       peer_ + ": solve_ok frame");
+      reply.response = frame::decode_solve_ok(std::move(payload),
+                                              peer_ + ": solve_ok frame");
       return reply;
-    case kFrameBusy:
+    case frame::kBusy:
       reply.status = SolveReply::Status::kBusy;
-      reply.message = decode_message(std::move(payload),
-                                     peer_ + ": busy frame");
+      reply.message = frame::decode_message(std::move(payload),
+                                            peer_ + ": busy frame");
       return reply;
-    case kFrameError:
+    case frame::kError:
       reply.status = SolveReply::Status::kError;
-      reply.message = decode_message(std::move(payload),
-                                     peer_ + ": error frame");
+      reply.message = frame::decode_message(std::move(payload),
+                                            peer_ + ": error frame");
       return reply;
     default:
       throw InvalidInput(peer_ + ": unexpected reply frame type " +
@@ -486,12 +374,12 @@ SolveResponse DaemonClient::solve(const WireInstance& instance,
 }
 
 WireStats DaemonClient::stats() {
-  send_frame(kFrameStats, std::string());
+  send_frame(frame::kStats, std::string());
   auto [type, payload] = read_frame();
-  DSP_REQUIRE(type == kFrameStatsOk,
+  DSP_REQUIRE(type == frame::kStatsOk,
               peer_ << ": unexpected reply frame type "
                     << static_cast<int>(type) << " to a stats request");
-  return decode_stats(std::move(payload), peer_ + ": stats_ok frame");
+  return frame::decode_stats(std::move(payload), peer_ + ": stats_ok frame");
 }
 
 }  // namespace dsp::service

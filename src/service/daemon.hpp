@@ -33,14 +33,15 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "runtime/admission.hpp"
+#include "runtime/sync.hpp"
 #include "service/cache.hpp"
+#include "service/frame_codec.hpp"
 #include "service/persist.hpp"
 #include "service/wire.hpp"
 
@@ -61,26 +62,8 @@ struct DaemonOptions {
   std::size_t snapshot_every = 256;
 };
 
-struct DaemonStats {
-  std::uint64_t accepted = 0;     ///< connections accepted
-  std::uint64_t requests = 0;     ///< frames received
-  std::uint64_t served = 0;       ///< solve_ok responses
-  std::uint64_t shed = 0;         ///< busy responses (queue full or draining)
-  std::uint64_t errors = 0;       ///< error responses
-  std::uint64_t warm_loaded = 0;  ///< entries restored from disk at boot
-  bool draining = false;
-};
-
-/// The counters record a stats frame carries (and the stats_ok payload
-/// layout, field for field in this order).
-struct WireStats {
-  std::string engine;
-  std::uint64_t capacity_bytes = 0;
-  CacheStats cache;
-  DaemonStats daemon;
-  std::uint64_t persisted_appends = 0;
-  std::uint64_t compactions = 0;
-};
+// DaemonStats and WireStats (the stats_ok payload record) live in
+// frame_codec.hpp with the codecs that serialize them.
 
 class Daemon {
  public:
@@ -127,8 +110,8 @@ class Daemon {
   std::uint16_t port_ = 0;
 
   std::thread accept_thread_;
-  std::mutex connections_mutex_;
-  std::vector<std::thread> connections_;
+  runtime::Mutex connections_mutex_;
+  std::vector<std::thread> connections_ DSP_GUARDED_BY(connections_mutex_);
 
   std::atomic<bool> started_{false};
   std::atomic<bool> stopped_{false};

@@ -149,7 +149,7 @@ std::string PersistentStore::snapshot_path() const {
 std::string PersistentStore::log_path() const { return dir_ + "/cache.log"; }
 
 std::size_t PersistentStore::warm_load(SolveCache& cache) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const runtime::MutexLock lock(mutex_);
   std::size_t loaded = 0;
   if (std::filesystem::exists(snapshot_path())) {
     std::ifstream is(snapshot_path(), std::ios::binary);
@@ -181,7 +181,7 @@ std::size_t PersistentStore::warm_load(SolveCache& cache) {
 
 void PersistentStore::append(const SolveCache& cache, const CacheKey& key,
                              const CachedSolve& value) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const runtime::MutexLock lock(mutex_);
   if (!log_.is_open()) open_log_locked(/*truncate=*/false);
   log_ << encode_entry(key, value);
   log_.flush();
@@ -191,7 +191,7 @@ void PersistentStore::append(const SolveCache& cache, const CacheKey& key,
 }
 
 void PersistentStore::compact(const SolveCache& cache) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const runtime::MutexLock lock(mutex_);
   compact_locked(cache);
 }
 
@@ -237,17 +237,17 @@ void PersistentStore::open_log_locked(bool truncate) {
 }
 
 bool PersistentStore::recovered_truncated_log() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const runtime::MutexLock lock(mutex_);
   return recovered_truncated_log_;
 }
 
 std::uint64_t PersistentStore::appends() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const runtime::MutexLock lock(mutex_);
   return appends_;
 }
 
 std::uint64_t PersistentStore::compactions() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const runtime::MutexLock lock(mutex_);
   return compactions_;
 }
 

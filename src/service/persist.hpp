@@ -26,10 +26,10 @@
 #include <cstdint>
 #include <fstream>
 #include <iosfwd>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "runtime/sync.hpp"
 #include "service/cache.hpp"
 
 namespace dsp::service {
@@ -109,18 +109,18 @@ class PersistentStore {
   [[nodiscard]] std::string log_path() const;
 
  private:
-  void compact_locked(const SolveCache& cache);
-  void open_log_locked(bool truncate);
+  void compact_locked(const SolveCache& cache) DSP_REQUIRES(mutex_);
+  void open_log_locked(bool truncate) DSP_REQUIRES(mutex_);
 
   const std::string dir_;
   const std::size_t snapshot_every_;
 
-  mutable std::mutex mutex_;
-  std::ofstream log_;
-  std::size_t appends_since_compact_ = 0;
-  std::uint64_t appends_ = 0;
-  std::uint64_t compactions_ = 0;
-  bool recovered_truncated_log_ = false;
+  mutable runtime::Mutex mutex_;
+  std::ofstream log_ DSP_GUARDED_BY(mutex_);
+  std::size_t appends_since_compact_ DSP_GUARDED_BY(mutex_) = 0;
+  std::uint64_t appends_ DSP_GUARDED_BY(mutex_) = 0;
+  std::uint64_t compactions_ DSP_GUARDED_BY(mutex_) = 0;
+  bool recovered_truncated_log_ DSP_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace dsp::service

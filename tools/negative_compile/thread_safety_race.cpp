@@ -1,0 +1,46 @@
+// Negative-compile probe for the thread-safety gate (DESIGN.md, "Static
+// analysis").  This TU is deliberately race-y: it reads and writes a
+// DSP_GUARDED_BY member without its mutex and calls a DSP_REQUIRES method
+// from an unlocked scope.  It is valid C++ and must compile cleanly when
+// the analysis is off (which is how we know the file itself is not just
+// broken); under `clang++ -Wthread-safety -Werror` it MUST fail.
+//
+// CI runs both compiles (tools/negative_compile in ci.yml).  If this file
+// ever compiles with the analysis on, the gate is dead — annotations
+// stripped, flag dropped, or macros defined away — and the job fails
+// loudly instead of green-lighting unanalyzed locking code forever.
+//
+// Not part of any CMake target: the library glob only covers src/.
+
+#include "runtime/sync.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void increment() {
+    const dsp::runtime::MutexLock lock(mutex_);
+    ++value_;
+  }
+
+  // VIOLATION: reads a guarded member without holding mutex_.
+  [[nodiscard]] int racy_read() const { return value_; }
+
+  // VIOLATION: calls a REQUIRES method without holding mutex_.
+  void racy_increment() { unsynchronized_add(1); }
+
+ private:
+  void unsynchronized_add(int delta) DSP_REQUIRES(mutex_) { value_ += delta; }
+
+  mutable dsp::runtime::Mutex mutex_;
+  int value_ DSP_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.increment();
+  counter.racy_increment();
+  return counter.racy_read();
+}
