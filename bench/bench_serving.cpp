@@ -17,6 +17,13 @@
 //   overload — a deliberately tiny admission gate (1 slot, no queue) under
 //              concurrent clients; requests shed with `busy` instead of
 //              queueing without bound, and the shed count is reported.
+//   sched    — Zipf traffic over a skewed instance set (one ~10x instance
+//              amid cheap ones) against the solve54 engine with a multi-
+//              guess probe grid, so the work-stealing pools and the
+//              auto-tuner actually engage; the row carries the scheduler
+//              counters and tuner state the stats frame now exposes, and
+//              the bench fails if no pool task ran or the tuner was never
+//              consulted.
 //
 // One JSON row per phase, the same flat shape every bench prints.
 
@@ -278,6 +285,72 @@ int main() {
         .print(std::cout);
     if (total_ok == 0) {
       std::cerr << "FAIL: overloaded daemon served nothing\n";
+      identical = false;
+    }
+    daemon.stop();
+  }
+
+  // --- scheduler counters under skewed solve54 traffic --------------------
+  {
+    service::DaemonOptions skew = options;
+    skew.persist_dir.clear();  // scheduler phase: no store churn
+    skew.serve.engine = service::ServeEngine::kSolve54;
+    // A 3-wide probe grid gives multi-guess rounds when the first probe
+    // misses (probe_concurrency stays 0 = auto), and auto pricing width
+    // guarantees the tuner is consulted on every solve even when the
+    // search converges on round 1.
+    skew.serve.approx.probe_parallelism = 3;
+    skew.serve.approx.lp_pricing_threads = 0;
+
+    // One ~10x instance amid cheap ones; the Zipf head lands on the heavy
+    // one, the classic worst case for static sharding.
+    std::vector<service::WireInstance> skew_wires;
+    {
+      Rng heavy_rng(9300);
+      skew_wires.push_back(service::WireInstance::from_instance(
+          gen::smart_grid(120, 96, heavy_rng), "heavy"));
+    }
+    for (std::size_t d = 1; d < 8; ++d) {
+      Rng rng(9300 + d);
+      skew_wires.push_back(service::WireInstance::from_instance(
+          gen::smart_grid(16, 96, rng), "light-" + std::to_string(d)));
+    }
+    Rng skew_rng(515151);
+    const std::vector<std::size_t> skew_trace =
+        zipf_trace(skew_wires.size(), 40, kZipfS, skew_rng);
+
+    service::Daemon daemon(skew);
+    daemon.start();
+    Stopwatch wall;
+    const PhaseResult result = play_trace(daemon.port(), skew_wires,
+                                          skew_trace);
+    const double wall_seconds = wall.seconds();
+    const service::WireStats stats = daemon.wire_stats();
+    JsonRow()
+        .field("bench", "serving")
+        .field("phase", "sched")
+        .field("requests", result.responses.size())
+        .field("distinct", skew_wires.size())
+        .field("zipf_s", kZipfS)
+        .field("p50_ms", percentile(result.latencies_ms, 0.50))
+        .field("p99_ms", percentile(result.latencies_ms, 0.99))
+        .field("sched_submitted", stats.scheduler.submitted)
+        .field("sched_executed", stats.scheduler.executed)
+        .field("steals", stats.scheduler.steals)
+        .field("steal_fails", stats.scheduler.steal_fails)
+        .field("occupancy", stats.scheduler.occupancy)
+        .field("tuner_decisions", stats.scheduler.tuner_decisions)
+        .field("attempt_ewma_nanos", stats.scheduler.attempt_ewma_nanos)
+        .field("probe_concurrency", stats.scheduler.probe_concurrency)
+        .field("pricing_threads", stats.scheduler.pricing_threads)
+        .field("wall_s", wall_seconds)
+        .print(std::cout);
+    if (stats.scheduler.executed == 0) {
+      std::cerr << "FAIL: sched phase ran no pool tasks\n";
+      identical = false;
+    }
+    if (stats.scheduler.tuner_decisions == 0) {
+      std::cerr << "FAIL: sched phase never consulted the auto-tuner\n";
       identical = false;
     }
     daemon.stop();

@@ -1,6 +1,7 @@
 #include "approx/solve54.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <memory>
 #include <numeric>
 #include <optional>
@@ -9,6 +10,7 @@
 #include "approx/config_lp.hpp"
 #include "core/bounds.hpp"
 #include "core/profile.hpp"
+#include "runtime/autotune.hpp"
 #include "runtime/parallel.hpp"
 #include "runtime/thread_pool.hpp"
 #include "util/check.hpp"
@@ -17,11 +19,11 @@ namespace dsp::approx {
 
 namespace {
 
-/// Reusable per-probe-slot state: the demand-profile backend (reset, not
+/// Reusable per-runner-slot state: the demand-profile backend (reset, not
 /// reconstructed, between attempts) and the Lemma-10 fill buffers.  solve54
-/// keeps one slot per concurrent probe; parallel_map hands each probe its
-/// index, so concurrent attempts always hit disjoint slots and a slot is
-/// only ever reused after its previous attempt completed.  Reuse changes no
+/// keeps one slot per runner lane; each lane owns its slot for the round,
+/// so concurrent attempts always hit disjoint slots and a slot is only
+/// ever reused after its previous attempt completed.  Reuse changes no
 /// result: reset() restores the all-zero profile and the fill scratch is
 /// fully re-derived per call (both tested).
 struct AttemptScratch {
@@ -233,8 +235,11 @@ Approx54Result solve54(const Instance& instance, const Approx54Params& params) {
   DSP_REQUIRE(params.probe_parallelism >= 1,
               "probe_parallelism must be >= 1, got "
                   << params.probe_parallelism);
-  DSP_REQUIRE(params.lp_pricing_threads >= 1,
-              "lp_pricing_threads must be >= 1, got "
+  DSP_REQUIRE(params.probe_concurrency >= 0,
+              "probe_concurrency must be >= 0 (0 = auto), got "
+                  << params.probe_concurrency);
+  DSP_REQUIRE(params.lp_pricing_threads >= 0,
+              "lp_pricing_threads must be >= 0 (0 = auto), got "
                   << params.lp_pricing_threads);
   Approx54Result result;
   Approx54Report& report = result.report;
@@ -242,22 +247,46 @@ Approx54Result solve54(const Instance& instance, const Approx54Params& params) {
   report.overlapped = params.overlap_step1;
   report.lp_engine = params.lp_engine;
 
+  // The tuner only ever decides how many workers run a fixed work list, so
+  // a fresh per-call instance (unmeasured defaults, then this call's own
+  // samples) and a shared serving-layer one produce the same packings.
+  runtime::AutoTuner local_tuner;
+  runtime::AutoTuner& tuner = params.tuner ? *params.tuner : local_tuner;
+
   const int k_max = params.probe_parallelism;
+  const runtime::ThreadPoolOptions pool_options{
+      static_cast<std::size_t>(k_max), params.stealing};
   std::optional<runtime::ThreadPool> pool;  // spawned for overlap/wide rounds
   // One pricing pool shared by every attempt (concurrent attempts included:
   // pricing tasks are pure knapsacks that never submit to a pool, so no
   // nesting deadlock is possible).  The Lemma-10 stage reduces priced
   // columns in fixed order, so pool size never changes any packing.
+  int pricing_threads = params.lp_pricing_threads;
+  if (pricing_threads == 0) {
+    pricing_threads = tuner.choose_pricing_threads(
+        static_cast<int>(runtime::ThreadPool::hardware_threads()));
+  }
+  report.pricing_threads = pricing_threads;
   std::optional<runtime::ThreadPool> pricing_pool;
-  if (params.lp_pricing_threads > 1 &&
+  if (pricing_threads > 1 &&
       params.lp_engine == ConfigLpEngine::kColumnGeneration) {
-    pricing_pool.emplace(static_cast<std::size_t>(params.lp_pricing_threads));
+    pricing_pool.emplace(runtime::ThreadPoolOptions{
+        static_cast<std::size_t>(pricing_threads), params.stealing});
   }
   runtime::ThreadPool* const pricing = pricing_pool ? &*pricing_pool : nullptr;
-  // One reusable scratch per probe slot (see AttemptScratch): slot i serves
-  // the i-th guess of every round, so profiles and LP buffers are built once
-  // and recycled across the whole bisection.
+  // One reusable scratch per runner slot (see AttemptScratch): concurrent
+  // attempts always hit disjoint slots, and a slot is recycled across the
+  // whole bisection.
   std::vector<AttemptScratch> scratches(static_cast<std::size_t>(k_max));
+
+  // Every attempt runs under a tuner timer, so the EWMA of attempt cost
+  // accumulates no matter which path executed it.  The timer is an opaque
+  // runtime/ object — wall-clock never reaches this layer directly (the
+  // determinism lint enforces that split).
+  const auto timed_attempt = [&](Height guess, AttemptScratch& scratch) {
+    const runtime::AutoTuner::AttemptTimer timer = tuner.time_attempt();
+    return attempt(instance, guess, params, pricing, scratch);
+  };
 
   // Step 1: bounds.  The witness doubles as the fallback packing.  With
   // overlap_step1 the lower bound and the witness portfolio run as one pool
@@ -273,8 +302,10 @@ Approx54Result solve54(const Instance& instance, const Approx54Params& params) {
   Height speculative_guess = 0;
   if (params.overlap_step1) {
     // k_max workers (>= 1) suffice: the bound task is O(n) and finishes
-    // before the witness needs a second worker even on a 1-thread pool.
-    pool.emplace(static_cast<std::size_t>(k_max));
+    // before the witness needs a second worker even on a 1-thread pool
+    // (externals drain FIFO off one deque, so the bound task — submitted
+    // first — runs first).
+    pool.emplace(pool_options);
     std::future<Height> bound_task =
         pool->submit([&]() { return combined_lower_bound(instance); });
     std::future<Packing> witness_task = pool->submit([&]() {
@@ -282,15 +313,13 @@ Approx54Result solve54(const Instance& instance, const Approx54Params& params) {
     });
     report.lower_bound = bound_task.get();
     speculative_guess = std::max<Height>(1, report.lower_bound);
-    speculative = attempt(instance, speculative_guess, params, pricing,
-                          scratches[0]);
+    speculative = timed_attempt(speculative_guess, scratches[0]);
     witness = witness_task.get();
   } else {
     report.lower_bound = combined_lower_bound(instance);
     witness = algo::best_of_portfolio(instance, nullptr, params.backend);
     speculative_guess = std::max<Height>(1, report.lower_bound);
-    speculative = attempt(instance, speculative_guess, params, pricing,
-                          scratches[0]);
+    speculative = timed_attempt(speculative_guess, scratches[0]);
   }
   const Height witness_peak = peak_height(instance, witness);
   report.upper_bound = witness_peak;
@@ -344,21 +373,39 @@ Approx54Result solve54(const Instance& instance, const Approx54Params& params) {
       const Height guess = lo + (span * i) / (k + 1);
       if (guesses.empty() || guesses.back() != guess) guesses.push_back(guess);
     }
-    std::vector<AttemptOutcome> outcomes;
-    if (!pool && guesses.size() > 1) {
-      pool.emplace(static_cast<std::size_t>(k_max));
+    // How many of this round's guesses run at once: the fixed knob, or the
+    // auto-tuner's call from the attempt-cost EWMA vs. free hardware.  The
+    // guesses are self-scheduled over `runners` tasks via a shared index
+    // counter; outcomes land by guess index, so the reduction below never
+    // sees which runner (or which order) produced them.
+    int concurrency = params.probe_concurrency;
+    if (concurrency == 0 && guesses.size() > 1) {
+      concurrency =
+          tuner.choose_probe_concurrency(static_cast<int>(guesses.size()));
     }
-    if (pool && guesses.size() > 1) {
-      outcomes = runtime::parallel_map(
-          *pool, guesses, [&](Height guess, std::size_t index) {
-            return attempt(instance, guess, params, pricing,
-                           scratches[index]);
+    const std::size_t runners =
+        std::min<std::size_t>(std::max(concurrency, 1), guesses.size());
+    std::vector<AttemptOutcome> outcomes;
+    if (runners > 1) {
+      report.probe_concurrency = static_cast<int>(runners);
+      if (!pool) pool.emplace(pool_options);
+      outcomes.resize(guesses.size());
+      std::atomic<std::size_t> next_guess{0};
+      std::vector<std::size_t> lanes(runners);
+      std::iota(lanes.begin(), lanes.end(), std::size_t{0});
+      (void)runtime::parallel_map(
+          *pool, lanes, [&](std::size_t lane, std::size_t) {
+            for (;;) {
+              const std::size_t i =
+                  next_guess.fetch_add(1, std::memory_order_relaxed);
+              if (i >= guesses.size()) return 0;
+              outcomes[i] = timed_attempt(guesses[i], scratches[lane]);
+            }
           });
     } else {
       outcomes.reserve(guesses.size());
       for (const Height guess : guesses) {
-        outcomes.push_back(
-            attempt(instance, guess, params, pricing, scratches[0]));
+        outcomes.push_back(timed_attempt(guess, scratches[0]));
       }
     }
     report.attempts += guesses.size();

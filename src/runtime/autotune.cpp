@@ -1,0 +1,64 @@
+#include "runtime/autotune.hpp"
+
+#include <algorithm>
+
+namespace dsp::runtime {
+
+void AutoTuner::record_attempt_nanos(std::uint64_t nanos) {
+  const MutexLock lock(mutex_);
+  if (attempt_samples_ == 0) {
+    attempt_ewma_nanos_ = nanos;
+  } else if (nanos >= attempt_ewma_nanos_) {
+    attempt_ewma_nanos_ += (nanos - attempt_ewma_nanos_) >> kEwmaShift;
+  } else {
+    attempt_ewma_nanos_ -= (attempt_ewma_nanos_ - nanos) >> kEwmaShift;
+  }
+  ++attempt_samples_;
+}
+
+int AutoTuner::free_width(int cap) {
+  const std::size_t hardware = ThreadPool::hardware_threads();
+  const std::size_t busy = process_active_workers();
+  const std::size_t free = hardware > busy ? hardware - busy : 1;
+  return std::clamp(static_cast<int>(free), 1, cap);
+}
+
+int AutoTuner::choose_probe_concurrency(int cap) {
+  const MutexLock lock(mutex_);
+  int choice = 1;
+  // Unmeasured workloads get the full free width: the caller asked for a
+  // multi-guess probe grid, which already signals nontrivial work, and the
+  // first round's samples correct the choice for the next.
+  if (cap > 1 &&
+      (attempt_samples_ == 0 || attempt_ewma_nanos_ >= kAttemptParallelNanos)) {
+    choice = free_width(cap);
+  }
+  ++decisions_;
+  last_probe_concurrency_ = choice;
+  return choice;
+}
+
+int AutoTuner::choose_pricing_threads(int cap) {
+  const MutexLock lock(mutex_);
+  int choice = 1;
+  if (cap > 1 && attempt_samples_ > 0 &&
+      attempt_ewma_nanos_ >= kPricingParallelNanos) {
+    choice = free_width(cap);
+  }
+  ++decisions_;
+  last_pricing_threads_ = choice;
+  return choice;
+}
+
+TunerSnapshot AutoTuner::snapshot() const {
+  const MutexLock lock(mutex_);
+  TunerSnapshot snapshot;
+  snapshot.attempt_samples = attempt_samples_;
+  snapshot.attempt_ewma_nanos = attempt_ewma_nanos_;
+  snapshot.decisions = decisions_;
+  snapshot.last_probe_concurrency = last_probe_concurrency_;
+  snapshot.last_pricing_threads = last_pricing_threads_;
+  return snapshot;
+}
+
+}  // namespace dsp::runtime

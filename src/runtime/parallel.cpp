@@ -78,8 +78,9 @@ Packing parallel_best_of_portfolio(const Instance& instance,
                                    const ParallelOptions& options) {
   // Sized by the member count alone — backend-independent, so the sizing
   // no longer routes through the default-backend portfolio accessor.
-  ThreadPool pool(
-      own_pool_size(options.threads, algo::baseline_portfolio_size()));
+  ThreadPool pool(ThreadPoolOptions{
+      own_pool_size(options.threads, algo::baseline_portfolio_size()),
+      options.stealing});
   return parallel_best_of_portfolio(pool, instance, winner, options.backend,
                                     options.live_peak, options.events);
 }
@@ -97,7 +98,8 @@ std::vector<BatchResult> solve_many(ThreadPool& pool,
 std::vector<BatchResult> solve_many(const std::vector<Instance>& instances,
                                     const ParallelOptions& options) {
   if (instances.empty()) return {};
-  ThreadPool pool(own_pool_size(options.threads, instances.size()));
+  ThreadPool pool(ThreadPoolOptions{
+      own_pool_size(options.threads, instances.size()), options.stealing});
   return solve_many(pool, instances, options.backend, options.live_peak);
 }
 
@@ -126,7 +128,8 @@ std::vector<BatchResult> solve_many_stream(
     const ParallelOptions& options) {
   const ChannelCloser<BatchEvent> closer(&sink);  // empty batch: close too
   if (instances.empty()) return {};
-  ThreadPool pool(own_pool_size(options.threads, instances.size()));
+  ThreadPool pool(ThreadPoolOptions{
+      own_pool_size(options.threads, instances.size()), options.stealing});
   return solve_many_stream(pool, instances, sink, options.backend,
                            options.live_peak);
 }

@@ -21,9 +21,11 @@ namespace dsp::runtime {
 /// pipeline").
 ///
 /// Determinism contract: every function here returns results bit-identical
-/// to its sequential counterpart, for any thread count.  Work is fanned out
-/// on a ThreadPool, but reductions run over completed results in a fixed
-/// order (portfolio index, instance index) — never completion order.  The
+/// to its sequential counterpart, for any thread count, with work stealing
+/// on or off.  Work items are self-scheduled on a ThreadPool (idle workers
+/// steal queued items instead of waiting out a skewed shard), but
+/// reductions run over completed results in a fixed order (portfolio
+/// index, instance index) — never completion order.  The
 /// streaming variants additionally publish completion-order events through
 /// a Channel; the event *order* is scheduling-dependent by design, the
 /// event *set* and the returned vector are not.
@@ -60,6 +62,10 @@ struct BatchEvent {
 struct ParallelOptions {
   /// Worker threads; 0 = ThreadPool::hardware_threads().
   std::size_t threads = 0;
+  /// Work stealing for self-owned pools (ThreadPoolOptions::stealing).
+  /// Execution-only: results are identical either way; off is the
+  /// static-sharding baseline the benches compare against.
+  bool stealing = true;
   /// Profile backend every algorithm runs on (kAuto resolves per instance).
   ProfileBackendKind backend = ProfileBackendKind::kAuto;
   /// Optional early-reporting slot: workers atomically lower this to the

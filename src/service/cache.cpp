@@ -53,8 +53,9 @@ std::uint64_t params_fingerprint(const ServeParams& params) {
   if (params.engine == ServeEngine::kSolve54) {
     // Result-affecting solve54 knobs only.  Excluded on purpose — proved
     // result-invariant by the runtime determinism suites — are
-    // lp_pricing_threads and overlap_step1, plus ServeParams::backend and
-    // ::threads (see DESIGN.md, "The serving layer").
+    // lp_pricing_threads, probe_concurrency, stealing, the tuner pointer,
+    // and overlap_step1, plus ServeParams::backend, ::threads and
+    // ::stealing (see DESIGN.md, "The work-stealing scheduler").
     const approx::Approx54Params& approx = params.approx;
     hasher.absorb_signed(approx.epsilon.num());
     hasher.absorb_signed(approx.epsilon.den());
@@ -294,7 +295,7 @@ CachingSolver::CachingSolver(const ServeParams& params,
       fingerprint_(params_fingerprint(params)),
       cache_(cache_options) {}
 
-CachedSolve CachingSolver::compute_canonical(const Instance& canonical) const {
+CachedSolve CachingSolver::compute_canonical(const Instance& canonical) {
   CachedSolve solve;
   if (params_.engine == ServeEngine::kPortfolio) {
     solve.packing =
@@ -303,6 +304,10 @@ CachedSolve CachingSolver::compute_canonical(const Instance& canonical) const {
   } else {
     approx::Approx54Params approx = params_.approx;
     approx.backend = params_.backend;  // ServeParams::backend is THE backend
+    approx.stealing = params_.stealing;
+    // The solver's own tuner unless the caller injected one: measurements
+    // then accumulate across every request this solver serves.
+    if (approx.tuner == nullptr) approx.tuner = &tuner_;
     approx::Approx54Result result = approx::solve54(canonical, approx);
     solve.packing = std::move(result.packing);
     solve.peak = result.peak;
@@ -335,7 +340,9 @@ SolveResponse CachingSolver::solve(const Instance& instance) {
 std::vector<SolveResponse> CachingSolver::solve_many(
     const std::vector<Instance>& instances) {
   if (instances.empty()) return {};
-  runtime::ThreadPool pool(runtime::own_pool_size(params_.threads, instances.size()));
+  runtime::ThreadPool pool(runtime::ThreadPoolOptions{
+      runtime::own_pool_size(params_.threads, instances.size()),
+      params_.stealing});
   return runtime::parallel_map(
       pool, instances,
       [this](const Instance& instance, std::size_t) { return solve(instance); });
@@ -345,7 +352,9 @@ std::vector<SolveResponse> CachingSolver::solve_many_stream(
     const std::vector<Instance>& instances, runtime::Channel<ServeEvent>& sink) {
   const runtime::ChannelCloser<ServeEvent> closer(&sink);
   if (instances.empty()) return {};
-  runtime::ThreadPool pool(runtime::own_pool_size(params_.threads, instances.size()));
+  runtime::ThreadPool pool(runtime::ThreadPoolOptions{
+      runtime::own_pool_size(params_.threads, instances.size()),
+      params_.stealing});
   return runtime::parallel_map(
       pool, instances, [&](const Instance& instance, std::size_t index) {
         try {

@@ -173,6 +173,17 @@ WireStats Daemon::wire_stats() const {
     stats.persisted_appends = store_->appends();
     stats.compactions = store_->compactions();
   }
+  const runtime::SchedulerCounters scheduler = solver_.scheduler_counters();
+  stats.scheduler.submitted = scheduler.submitted;
+  stats.scheduler.executed = scheduler.executed;
+  stats.scheduler.steals = scheduler.steals;
+  stats.scheduler.steal_fails = scheduler.steal_fails;
+  stats.scheduler.occupancy = runtime::process_active_workers();
+  const runtime::TunerSnapshot tuner = solver_.tuner_snapshot();
+  stats.scheduler.tuner_decisions = tuner.decisions;
+  stats.scheduler.attempt_ewma_nanos = tuner.attempt_ewma_nanos;
+  stats.scheduler.probe_concurrency = tuner.last_probe_concurrency;
+  stats.scheduler.pricing_threads = tuner.last_pricing_threads;
   return stats;
 }
 

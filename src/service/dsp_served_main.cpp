@@ -9,9 +9,14 @@
 // gracefully, and prints a "drained" row with its lifetime counters.
 //
 //   dsp_served [--port P] [--engine portfolio|solve54]
-//              [--backend auto|dense|sparse] [--threads N] [--cache-mb M]
+//              [--backend auto|dense|sparse] [--threads N] [--steal 0|1]
+//              [--probe-concurrency N] [--pricing-threads N] [--cache-mb M]
 //              [--max-concurrent N] [--max-queue N]
 //              [--persist DIR] [--snapshot-every N]
+//
+// --steal/--probe-concurrency/--pricing-threads mirror dsp_solve's flags:
+// execution knobs only (responses are bit-identical either way), strict
+// integer parsing, 0 = auto-tuned where documented there.
 //
 // Client mode sends each instance file to a running daemon and prints rows
 // byte-identical to dsp_solve's (the golden corpus guards both):
@@ -34,6 +39,7 @@
 #include <vector>
 
 #include "core/bounds.hpp"
+#include "runtime/thread_pool.hpp"
 #include "service/cli.hpp"
 #include "service/daemon.hpp"
 #include "service/wire.hpp"
@@ -59,6 +65,8 @@ struct CliOptions {
 void print_usage(std::ostream& os) {
   os << "usage: dsp_served [--port P] [--engine portfolio|solve54]\n"
         "                  [--backend auto|dense|sparse] [--threads N] "
+        "[--steal 0|1]\n"
+        "                  [--probe-concurrency N] [--pricing-threads N] "
         "[--cache-mb M]\n"
         "                  [--max-concurrent N] [--max-queue N]\n"
         "                  [--persist DIR] [--snapshot-every N]\n"
@@ -129,6 +137,16 @@ void print_usage(std::ostream& os) {
       }
     } else if (arg == "--threads") {
       options.daemon.serve.threads = parse_count(arg, next_value(i, arg));
+    } else if (arg == "--steal") {
+      const std::size_t value = parse_count(arg, next_value(i, arg));
+      if (value > 1) usage_error("--steal takes 0 or 1");
+      options.daemon.serve.stealing = value == 1;
+    } else if (arg == "--probe-concurrency") {
+      options.daemon.serve.approx.probe_concurrency =
+          static_cast<int>(parse_count(arg, next_value(i, arg)));
+    } else if (arg == "--pricing-threads") {
+      options.daemon.serve.approx.lp_pricing_threads =
+          static_cast<int>(parse_count(arg, next_value(i, arg)));
     } else if (arg == "--cache-mb") {
       options.cache_mb = parse_count(arg, next_value(i, arg));
       if (options.cache_mb == 0) {
@@ -217,6 +235,9 @@ int run_daemon(const CliOptions& options) {
   }
   daemon.stop();
   const service::DaemonStats stats = daemon.stats();
+  // Lifetime scheduler counters ride along: by drain time every transient
+  // pool has retired, so the process-wide totals are complete.
+  const runtime::SchedulerCounters sched = runtime::scheduler_totals();
   JsonRow()
       .field("dsp_served", "drained")
       .field("accepted", stats.accepted)
@@ -224,6 +245,8 @@ int run_daemon(const CliOptions& options) {
       .field("served", stats.served)
       .field("shed", stats.shed)
       .field("errors", stats.errors)
+      .field("steals", sched.steals)
+      .field("steal_fails", sched.steal_fails)
       .print(std::cout);
   return 0;
 }

@@ -87,6 +87,16 @@ std::string encode_stats(const WireStats& stats) {
   payload.boolean(stats.daemon.draining);
   payload.u64(stats.persisted_appends);
   payload.u64(stats.compactions);
+  payload.u64(stats.scheduler.submitted);
+  payload.u64(stats.scheduler.executed);
+  payload.u64(stats.scheduler.steals);
+  payload.u64(stats.scheduler.steal_fails);
+  payload.u64(stats.scheduler.occupancy);
+  payload.u64(stats.scheduler.tuner_decisions);
+  payload.u64(stats.scheduler.attempt_ewma_nanos);
+  // Knob choices are small non-negative ints; carried as u64 like the rest.
+  payload.u64(static_cast<std::uint64_t>(stats.scheduler.probe_concurrency));
+  payload.u64(static_cast<std::uint64_t>(stats.scheduler.pricing_threads));
   return payload.take();
 }
 
@@ -111,6 +121,15 @@ WireStats decode_stats(std::string payload, const std::string& source) {
   stats.daemon.draining = reader.boolean();
   stats.persisted_appends = reader.u64();
   stats.compactions = reader.u64();
+  stats.scheduler.submitted = reader.u64();
+  stats.scheduler.executed = reader.u64();
+  stats.scheduler.steals = reader.u64();
+  stats.scheduler.steal_fails = reader.u64();
+  stats.scheduler.occupancy = reader.u64();
+  stats.scheduler.tuner_decisions = reader.u64();
+  stats.scheduler.attempt_ewma_nanos = reader.u64();
+  stats.scheduler.probe_concurrency = static_cast<std::int64_t>(reader.u64());
+  stats.scheduler.pricing_threads = static_cast<std::int64_t>(reader.u64());
   reader.done();
   return stats;
 }

@@ -28,6 +28,21 @@ struct DaemonStats {
   bool draining = false;
 };
 
+/// Scheduler/auto-tuner visibility (DESIGN.md, "The work-stealing
+/// scheduler"): process-wide counters from retired pools plus the serving
+/// solver's tuner state.
+struct SchedulerStats {
+  std::uint64_t submitted = 0;    ///< tasks accepted across all pools
+  std::uint64_t executed = 0;     ///< tasks completed
+  std::uint64_t steals = 0;       ///< tasks migrated off their deque
+  std::uint64_t steal_fails = 0;  ///< empty-victim probes
+  std::uint64_t occupancy = 0;    ///< workers running a task right now
+  std::uint64_t tuner_decisions = 0;
+  std::uint64_t attempt_ewma_nanos = 0;
+  std::int64_t probe_concurrency = 0;  ///< tuner's last choice (0 = none yet)
+  std::int64_t pricing_threads = 0;    ///< tuner's last choice (0 = none yet)
+};
+
 /// The counters record a stats frame carries (and the stats_ok payload
 /// layout, field for field in this order).
 struct WireStats {
@@ -37,6 +52,7 @@ struct WireStats {
   DaemonStats daemon;
   std::uint64_t persisted_appends = 0;
   std::uint64_t compactions = 0;
+  SchedulerStats scheduler;
 };
 
 namespace frame {

@@ -271,6 +271,9 @@ TEST(Solve54Engines, SharedPricingPoolUnderConcurrentAttemptsIsBitIdentical) {
   Approx54Params baseline_params;
   baseline_params.lp_engine = ConfigLpEngine::kColumnGeneration;
   baseline_params.probe_parallelism = 3;
+  // Pinned: auto (0) would serialize the attempts on narrow machines and
+  // this test exists to run the concurrent-submitters path.
+  baseline_params.probe_concurrency = 3;
   baseline_params.lp_pricing_threads = 1;
   const Approx54Result baseline = solve54(inst, baseline_params);
   for (const int pricing_threads : {2, 8}) {
@@ -285,11 +288,12 @@ TEST(Solve54Engines, SharedPricingPoolUnderConcurrentAttemptsIsBitIdentical) {
   }
 }
 
-TEST(Solve54Engines, RejectsNonPositivePricingThreads) {
+TEST(Solve54Engines, RejectsNegativePricingThreads) {
+  // 0 now means "auto-tuned"; only genuinely negative widths are invalid.
   Rng rng(707);
   const Instance inst = gen::random_uniform(5, 10, 4, 4, rng);
   Approx54Params params;
-  params.lp_pricing_threads = 0;
+  params.lp_pricing_threads = -1;
   EXPECT_THROW((void)solve54(inst, params), InvalidInput);
 }
 

@@ -407,6 +407,18 @@ TEST(ParamsFingerprintTest, ExecutionKnobsDoNotFragmentTheCache) {
   v = base;
   v.bypass_cache = true;
   EXPECT_EQ(params_fingerprint(v), reference);
+  v = base;
+  v.stealing = false;
+  EXPECT_EQ(params_fingerprint(v), reference);
+  v = base;
+  v.approx.stealing = false;
+  EXPECT_EQ(params_fingerprint(v), reference);
+  v = base;
+  v.approx.probe_concurrency = 4;
+  EXPECT_EQ(params_fingerprint(v), reference);
+  v = base;
+  v.approx.lp_pricing_threads = 0;  // auto-tuned width is still execution-only
+  EXPECT_EQ(params_fingerprint(v), reference);
 }
 
 // ---------------------------------------------------------------------------

@@ -34,9 +34,19 @@ that contract silently:
                        waiting to reorder two packings.
 
 Scope: src/core, src/approx, src/algo, src/lp — the code whose output
-feeds the answer.  The runtime and service layers intentionally use time
-(admission deadlines, persistence timestamps) and are covered by the
-thread-safety analysis instead.
+feeds the answer.  The service layer intentionally uses time (admission
+deadlines, persistence timestamps) and is covered by the thread-safety
+analysis instead.
+
+src/runtime gets a narrower, wall-clock-only scan: the auto-tuner
+(runtime/autotune.{hpp,cpp}) is the one blessed place where wall-clock
+measurements feed back into execution — its choices are proven
+result-invariant, so timing there cannot reorder answers.  Every *other*
+runtime file must stay clock-free, which is what keeps timing from
+leaking through the pool/parallel plumbing into the result-affecting
+roots above.  (tools/lint_fixtures/timing_violation is a negative
+fixture tree proving this gate actually fires; CI runs the lint against
+it and requires failure.)
 
 Waivers are per-line, must name the rule, and must carry a rationale:
 
@@ -68,6 +78,18 @@ import sys
 
 # Directories whose code affects results, relative to the repo root.
 RESULT_AFFECTING = ("src/core", "src/approx", "src/algo", "src/lp")
+
+# The runtime layer: scanned for wall-clock use only (its concurrency is
+# covered by the thread-safety analysis; unordered containers and FP are
+# legitimate there).
+RUNTIME_DIR = "src/runtime"
+
+# The one blessed wall-clock reader in runtime/: the adaptive-parallelism
+# controller.  Its header documents why timing is result-invariant there.
+RUNTIME_CLOCK_ALLOWLIST = (
+    "src/runtime/autotune.hpp",
+    "src/runtime/autotune.cpp",
+)
 
 # Modules blessed for floating-point arithmetic.  The LP relaxation is
 # inherently fractional; its epsilon/comparison discipline is centralized
@@ -184,7 +206,11 @@ def collect_waivers(
     return waived, errors
 
 
-def lint_file(path: pathlib.Path, rel: str) -> list[str]:
+def lint_file(
+    path: pathlib.Path, rel: str, rules: tuple[str, ...] | None = None
+) -> list[str]:
+    """Lints one file; `rules` restricts the scan (None = every rule),
+    which is how the runtime tree gets its wall-clock-only pass."""
     text = path.read_text(encoding="utf-8")
     raw_lines = text.splitlines()
     stripped_lines = strip_comments_and_strings(text).splitlines()
@@ -194,6 +220,8 @@ def lint_file(path: pathlib.Path, rel: str) -> list[str]:
     fp_allowed = rel in FP_ALLOWLIST
     for idx, line in enumerate(stripped_lines, start=1):
         for rule, pattern in RULES.items():
+            if rules is not None and rule not in rules:
+                continue
             if rule == "fp-outside-allowlist" and fp_allowed:
                 continue
             if not pattern.search(line):
@@ -270,6 +298,26 @@ def main() -> int:
         findings.extend(lint_file(f, str(f.relative_to(root))))
     if not args.no_clang_query:
         findings.extend(run_clang_query(root, files))
+
+    # Runtime pass: wall-clock only, with the auto-tuner allowlisted — a
+    # clock anywhere else in runtime/ is how timing would creep toward the
+    # result-affecting roots.
+    runtime_dir = root / RUNTIME_DIR
+    if not runtime_dir.is_dir():
+        print(
+            f"lint_determinism: missing directory {runtime_dir}",
+            file=sys.stderr,
+        )
+        return 2
+    runtime_files = sorted(runtime_dir.glob("*.hpp")) + sorted(
+        runtime_dir.glob("*.cpp")
+    )
+    for f in runtime_files:
+        rel = str(f.relative_to(root))
+        if rel in RUNTIME_CLOCK_ALLOWLIST:
+            continue
+        findings.extend(lint_file(f, rel, rules=("wall-clock",)))
+    files.extend(runtime_files)
 
     if findings:
         print(f"lint_determinism: {len(findings)} finding(s):", file=sys.stderr)

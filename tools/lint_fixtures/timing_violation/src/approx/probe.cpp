@@ -1,0 +1,13 @@
+// Fixture: wall-clock in a result-affecting root.  The lint must flag
+// the clock read below (the comment itself must not trip it — matching
+// runs on comment-stripped text).
+#include <chrono>
+
+namespace fixture {
+
+long long adaptive_budget() {
+  const auto now = std::chrono::steady_clock::now();
+  return now.time_since_epoch().count() & 0xff;
+}
+
+}  // namespace fixture

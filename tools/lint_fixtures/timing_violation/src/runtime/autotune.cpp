@@ -1,0 +1,12 @@
+// Fixture: the allowlisted auto-tuner reading the clock.  This file must
+// NOT be flagged — CI greps the lint output to prove the allowlist is
+// honored.
+#include <chrono>
+
+namespace fixture {
+
+long long tuner_sample() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture: wall-clock in a runtime file that is NOT the allowlisted
+// auto-tuner.  The runtime wall-clock-only pass must flag this.
+#include <chrono>
+
+namespace fixture {
+
+long long pool_heartbeat() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace fixture
