@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "obs/trace.hpp"
 #include "service/daemon.hpp"
 
 namespace {
@@ -285,6 +286,85 @@ int main() {
         .print(std::cout);
     if (total_ok == 0) {
       std::cerr << "FAIL: overloaded daemon served nothing\n";
+      identical = false;
+    }
+    daemon.stop();
+  }
+
+  // --- obs overhead: the same warm Zipf traffic with the observability ----
+  // switches in each position.  Payloads must stay bit-identical in every
+  // mode (the layer observes, it never acts), and the overhead of the
+  // default configuration (metrics on, tracing off) over a fully dark run
+  // is the number the acceptance row tracks.  Loopback round trips are
+  // noisy, so only a gross regression (> 25%) fails the bench; the
+  // measured ratios are reported either way.
+  {
+    service::DaemonOptions obs_options = options;
+    obs_options.persist_dir.clear();  // overhead only, no store churn
+    service::Daemon daemon(obs_options);
+    daemon.start();
+    // Warm the cache once so every measured request is a pure hit — the
+    // regime where instrumentation overhead is largest relative to work.
+    (void)play_trace(daemon.port(), wires, trace);
+
+    struct ObsMode {
+      const char* name;
+      bool metrics;
+      bool tracing;
+    };
+    constexpr ObsMode kModes[] = {{"off", false, false},
+                                  {"metrics", true, false},
+                                  {"tracing", true, true}};
+    // Modes are interleaved round-robin and summarized by the per-rep
+    // median, so slow drift (frequency scaling, background load) hits all
+    // three alike instead of whichever mode ran last.
+    constexpr std::size_t kReps = 30;
+    std::vector<double> rep_seconds[3];
+    for (std::size_t rep = 0; rep < kReps; ++rep) {
+      for (std::size_t m = 0; m < 3; ++m) {
+        obs::set_metrics_enabled(kModes[m].metrics);
+        obs::set_tracing_enabled(kModes[m].tracing);
+        Stopwatch wall;
+        const PhaseResult result = play_trace(daemon.port(), wires, trace);
+        rep_seconds[m].push_back(wall.seconds());
+        for (std::size_t r = 0; r < trace.size(); ++r) {
+          if (!same_answer(result.responses[r], cold.responses[r])) {
+            std::cerr << "FAIL: request " << r << " diverged under obs mode "
+                      << kModes[m].name << "\n";
+            identical = false;
+            break;
+          }
+        }
+      }
+    }
+    obs::set_metrics_enabled(true);  // restore the process defaults
+    obs::set_tracing_enabled(false);
+    const std::uint64_t spans_recorded =
+        daemon.wire_stats().obs.spans_recorded;
+    double wall_s[3];
+    for (std::size_t m = 0; m < 3; ++m) {
+      std::sort(rep_seconds[m].begin(), rep_seconds[m].end());
+      wall_s[m] = rep_seconds[m][kReps / 2];
+    }
+    const double overhead_metrics = wall_s[1] / wall_s[0] - 1.0;
+    const double overhead_tracing = wall_s[2] / wall_s[0] - 1.0;
+    JsonRow()
+        .field("bench", "serving")
+        .field("phase", "obs")
+        .field("requests", 3 * kReps * trace.size())
+        .field("distinct", kDistinct)
+        .field("zipf_s", kZipfS)
+        .field("median_off_s", wall_s[0])
+        .field("median_metrics_s", wall_s[1])
+        .field("median_tracing_s", wall_s[2])
+        .field("overhead_metrics", overhead_metrics)
+        .field("overhead_tracing", overhead_tracing)
+        .field("spans_recorded", spans_recorded)
+        .print(std::cout);
+    if (overhead_metrics > 0.25 || overhead_tracing > 0.5) {
+      std::cerr << "FAIL: observability overhead grossly regressed "
+                << "(metrics " << overhead_metrics << ", tracing "
+                << overhead_tracing << ")\n";
       identical = false;
     }
     daemon.stop();

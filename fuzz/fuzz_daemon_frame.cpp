@@ -73,6 +73,17 @@ void decode_payload(std::uint8_t type, const std::string& payload) {
     } catch (const dsp::InvalidInput&) {
     }
   }
+  if (type == frame::kMetricsOk) {
+    try {
+      const std::string exposition =
+          frame::decode_metrics(payload, "fuzz metrics_ok payload");
+      expect(frame::encode_metrics(exposition) == payload,
+             "metrics_ok decode/encode round-trip mismatch");
+    } catch (const dsp::InvalidInput&) {
+    }
+  }
+  // kMetrics (request) carries an empty payload — there is no decoder to
+  // drive; the daemon ignores whatever bytes arrive with it.
   if (type == frame::kError || type == frame::kBusy) {
     try {
       const std::string message =

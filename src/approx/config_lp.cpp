@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "lp/simplex.hpp"
+#include "obs/trace.hpp"
 #include "runtime/parallel.hpp"
 #include "runtime/thread_pool.hpp"
 #include "util/check.hpp"
@@ -287,7 +288,11 @@ void run_dense(const Instance& instance, const std::vector<std::size_t>& items,
     problem.c[j] = static_cast<double>(boxes[col.box].capacity - used);
   }
 
-  const lp::LpSolution solution = lp::solve(problem);
+  const lp::LpSolution solution = [&] {
+    const obs::ScopedSpan span(obs::Phase::kLpResolve,
+                               &result->lp_resolve_nanos);
+    return lp::solve(problem);
+  }();
   result->lp_pivots = solution.pivots;
   if (solution.status != lp::LpStatus::kOptimal) return;
   result->lp_solved = true;
@@ -358,8 +363,16 @@ void run_column_generation(const Instance& instance,
 
   std::vector<double>& values = scratch.values;
   for (;;) {
+    // One span per CG round (resolve + price + add), with the LP resolve
+    // nested inside — the trace shows exactly where a round's time went.
+    const obs::ScopedSpan round_span(obs::Phase::kPricingRound,
+                                     &result->pricing_nanos);
     ++result->pricing_rounds;
-    const lp::LpSolution& sol = master.resolve();
+    const lp::LpSolution& sol = [&]() -> const lp::LpSolution& {
+      const obs::ScopedSpan span(obs::Phase::kLpResolve,
+                                 &result->lp_resolve_nanos);
+      return master.resolve();
+    }();
     result->lp_pivots += sol.pivots;
     if (sol.status == lp::LpStatus::kUnbounded) break;  // costs >= 0: never
     const bool feasible = sol.status == lp::LpStatus::kOptimal;

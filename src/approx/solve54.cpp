@@ -10,6 +10,7 @@
 #include "approx/config_lp.hpp"
 #include "core/bounds.hpp"
 #include "core/profile.hpp"
+#include "obs/trace.hpp"
 #include "runtime/autotune.hpp"
 #include "runtime/parallel.hpp"
 #include "runtime/thread_pool.hpp"
@@ -41,6 +42,10 @@ struct AttemptOutcome {
   std::size_t lp_pricing_rounds = 0;
   bool lp_capped = false;
   std::size_t lp_overflow = 0;
+  /// Phase-latency observations for this attempt (zero with obs off).
+  std::uint64_t attempt_nanos = 0;
+  std::uint64_t pricing_nanos = 0;
+  std::uint64_t lp_resolve_nanos = 0;
 };
 
 /// Sorts indices by non-increasing key.
@@ -179,6 +184,8 @@ AttemptOutcome attempt(const Instance& instance, Height h_guess,
     outcome.lp_pricing_rounds = fill.pricing_rounds;
     outcome.lp_capped = fill.capped;
     outcome.lp_overflow = fill.overflow.size();
+    outcome.pricing_nanos = fill.pricing_nanos;
+    outcome.lp_resolve_nanos = fill.lp_resolve_nanos;
     for (std::size_t k = 0; k < vertical.size(); ++k) {
       if (fill.start[k] >= 0) place(vertical[k], fill.start[k]);
     }
@@ -285,7 +292,12 @@ Approx54Result solve54(const Instance& instance, const Approx54Params& params) {
   // determinism lint enforces that split).
   const auto timed_attempt = [&](Height guess, AttemptScratch& scratch) {
     const runtime::AutoTuner::AttemptTimer timer = tuner.time_attempt();
-    return attempt(instance, guess, params, pricing, scratch);
+    AttemptOutcome outcome;
+    {
+      const obs::ScopedSpan span(obs::Phase::kAttempt, &outcome.attempt_nanos);
+      outcome = attempt(instance, guess, params, pricing, scratch);
+    }
+    return outcome;
   };
 
   // Step 1: bounds.  The witness doubles as the fallback packing.  With
@@ -309,6 +321,7 @@ Approx54Result solve54(const Instance& instance, const Approx54Params& params) {
     std::future<Height> bound_task =
         pool->submit([&]() { return combined_lower_bound(instance); });
     std::future<Packing> witness_task = pool->submit([&]() {
+      const obs::ScopedSpan span(obs::Phase::kWitness);
       return algo::best_of_portfolio(instance, nullptr, params.backend);
     });
     report.lower_bound = bound_task.get();
@@ -317,7 +330,10 @@ Approx54Result solve54(const Instance& instance, const Approx54Params& params) {
     witness = witness_task.get();
   } else {
     report.lower_bound = combined_lower_bound(instance);
-    witness = algo::best_of_portfolio(instance, nullptr, params.backend);
+    {
+      const obs::ScopedSpan span(obs::Phase::kWitness);
+      witness = algo::best_of_portfolio(instance, nullptr, params.backend);
+    }
     speculative_guess = std::max<Height>(1, report.lower_bound);
     speculative = timed_attempt(speculative_guess, scratches[0]);
   }
@@ -348,6 +364,9 @@ Approx54Result solve54(const Instance& instance, const Approx54Params& params) {
     ++report.rounds;
     ++report.attempts;
     AttemptOutcome& outcome = *speculative;
+    report.attempt_nanos += outcome.attempt_nanos;
+    report.pricing_nanos += outcome.pricing_nanos;
+    report.lp_resolve_nanos += outcome.lp_resolve_nanos;
     best_pipeline_peak = outcome.peak;
     have_pipeline = true;
     if (outcome.peak < best_peak) {
@@ -364,6 +383,7 @@ Approx54Result solve54(const Instance& instance, const Approx54Params& params) {
     speculative.reset();
   }
   while (lo <= hi) {
+    const obs::ScopedSpan round_span(obs::Phase::kBisectionRound);
     ++report.rounds;
     const Height span = hi - lo;
     const auto k = static_cast<int>(
@@ -412,6 +432,9 @@ Approx54Result solve54(const Instance& instance, const Approx54Params& params) {
     bool resolved = false;
     for (std::size_t i = 0; i < guesses.size(); ++i) {
       AttemptOutcome& outcome = outcomes[i];
+      report.attempt_nanos += outcome.attempt_nanos;
+      report.pricing_nanos += outcome.pricing_nanos;
+      report.lp_resolve_nanos += outcome.lp_resolve_nanos;
       if (!have_pipeline || outcome.peak < best_pipeline_peak) {
         best_pipeline_peak = outcome.peak;
         have_pipeline = true;

@@ -106,6 +106,15 @@ struct Approx54Report {
   /// Approx54Params::lp_pricing_threads is 0).
   int pricing_threads = 1;
   bool overlapped = false;       ///< step 1 overlapped with round 1
+  /// Phase-level latency breakdown (obs/trace.hpp scoped spans), summed
+  /// over every attempt of the bisection: total attempt wall nanos, the
+  /// slice spent in CG pricing rounds, and the slice inside LP (re)solves.
+  /// Observed, never branched on; all zero when the obs metrics switch is
+  /// off.  Concurrent attempts overlap, so attempt_nanos can exceed the
+  /// call's wall time.
+  std::uint64_t attempt_nanos = 0;
+  std::uint64_t pricing_nanos = 0;
+  std::uint64_t lp_resolve_nanos = 0;
 };
 
 struct Approx54Result {

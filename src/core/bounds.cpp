@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 namespace dsp {
 
 Height area_lower_bound(const Instance& instance) {
@@ -23,6 +25,7 @@ Height wide_overlap_lower_bound(const Instance& instance) {
 }
 
 Height combined_lower_bound(const Instance& instance) {
+  const obs::ScopedSpan span(obs::Phase::kLowerBound);
   return std::max({area_lower_bound(instance), max_height_lower_bound(instance),
                    wide_overlap_lower_bound(instance)});
 }

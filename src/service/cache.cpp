@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "algo/portfolio.hpp"
+#include "obs/trace.hpp"
 #include "runtime/parallel.hpp"
 #include "runtime/sync.hpp"
 #include "util/check.hpp"
@@ -163,7 +164,13 @@ SolveCache::Lookup SolveCache::get_or_compute(
     const CacheKey& key, const std::function<CachedSolve()>& compute) {
   Shard& shard = shard_for(key);
   std::promise<std::shared_ptr<const CachedSolve>> promise;
+  std::shared_future<std::shared_ptr<const CachedSolve>> pending;
+  bool join = false;
   {
+    // The locked probe is its own phase; the single-flight wait below gets
+    // a separate span so a trace distinguishes shard contention from
+    // riding on another thread's solve.
+    const obs::ScopedSpan lookup_span(obs::Phase::kCacheLookup);
     runtime::MutexLock lock(shard.mutex);
     if (const auto it = shard.resident.find(key);
         it != shard.resident.end()) {
@@ -177,13 +184,17 @@ SolveCache::Lookup SolveCache::get_or_compute(
       // Copy the shared future, then wait outside the lock: the computing
       // thread needs the lock to publish, and other keys in this shard must
       // not stall behind our wait.
-      std::shared_future<std::shared_ptr<const CachedSolve>> pending =
-          it->second;
+      pending = it->second;
+      join = true;
       lock.unlock();
-      return Lookup{pending.get(), CacheOutcome::kJoined};
+    } else {
+      ++shard.misses;
+      shard.inflight.emplace(key, promise.get_future().share());
     }
-    ++shard.misses;
-    shard.inflight.emplace(key, promise.get_future().share());
+  }
+  if (join) {
+    const obs::ScopedSpan join_span(obs::Phase::kInflightJoin);
+    return Lookup{pending.get(), CacheOutcome::kJoined};
   }
 
   // The single flight: exactly one thread per key reaches this point.
@@ -293,7 +304,41 @@ CachingSolver::CachingSolver(const ServeParams& params,
                              const CacheOptions& cache_options)
     : params_(params),
       fingerprint_(params_fingerprint(params)),
-      cache_(cache_options) {}
+      cache_(cache_options) {
+  // Pull-source: serving-layer counters materialize in the registry on
+  // demand (stats frame, --metrics-out) instead of being double-counted
+  // into push-style instruments.  Registration order means a newer solver
+  // in the same process shadows an older one's samples, which matches the
+  // "latest solver owns the serving stack" semantics of the daemon.
+  obs_source_ = obs::Registry::global().register_source(
+      [this](std::vector<obs::Sample>& out) {
+        const CacheStats cache = cache_.stats();
+        out.push_back({"cache.hits", cache.hits, false});
+        out.push_back({"cache.misses", cache.misses, false});
+        out.push_back({"cache.inflight_joins", cache.inflight_joins, false});
+        out.push_back({"cache.evictions", cache.evictions, false});
+        out.push_back({"cache.oversized", cache.oversized, false});
+        out.push_back({"cache.entries", cache.entries, true});
+        out.push_back({"cache.bytes", cache.bytes, true});
+        const runtime::SchedulerCounters sched = runtime::scheduler_totals();
+        out.push_back({"scheduler.submitted", sched.submitted, false});
+        out.push_back({"scheduler.executed", sched.executed, false});
+        out.push_back({"scheduler.steals", sched.steals, false});
+        out.push_back({"scheduler.steal_fails", sched.steal_fails, false});
+        const runtime::TunerSnapshot tuner = tuner_.snapshot();
+        out.push_back({"tuner.attempt_samples", tuner.attempt_samples, false});
+        out.push_back(
+            {"tuner.attempt_ewma_nanos", tuner.attempt_ewma_nanos, true});
+        out.push_back({"tuner.decisions", tuner.decisions, false});
+        out.push_back({"tuner.last_probe_concurrency",
+                       static_cast<std::uint64_t>(
+                           tuner.last_probe_concurrency),
+                       true});
+        out.push_back({"tuner.last_pricing_threads",
+                       static_cast<std::uint64_t>(tuner.last_pricing_threads),
+                       true});
+      });
+}
 
 CachedSolve CachingSolver::compute_canonical(const Instance& canonical) {
   CachedSolve solve;
@@ -317,6 +362,10 @@ CachedSolve CachingSolver::compute_canonical(const Instance& canonical) {
 }
 
 SolveResponse CachingSolver::solve(const Instance& instance) {
+  // Adopt the caller's request id (the daemon opens one per frame) or mint
+  // a fresh one for direct callers; the whole serve is one kSolve span.
+  const obs::RequestScope request_scope;
+  const obs::ScopedSpan solve_span(obs::Phase::kSolve);
   const CanonicalForm form = canonicalize(instance);
   SolveResponse response;
   if (params_.bypass_cache) {

@@ -35,6 +35,7 @@
 #include "core/instance.hpp"
 #include "core/packing.hpp"
 #include "core/profile.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/autotune.hpp"
 #include "runtime/channel.hpp"
 #include "runtime/thread_pool.hpp"
@@ -293,6 +294,10 @@ class CachingSolver {
   /// measurements accumulate and the auto-tuned knobs converge under
   /// sustained traffic.  Internally synchronized; never fingerprinted.
   runtime::AutoTuner tuner_;
+  /// Registry pull-source exporting cache.* / scheduler.* / tuner.* samples.
+  /// Declared last: it captures `this`, so it must unregister (its
+  /// destructor) before any member it reads is torn down.
+  obs::Registry::Source obs_source_;
 };
 
 }  // namespace dsp::service

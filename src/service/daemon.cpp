@@ -12,6 +12,8 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 #include "service/frame_codec.hpp"
 #include "util/check.hpp"
@@ -111,6 +113,34 @@ Daemon::Daemon(const DaemonOptions& options)
                             &bound_size) == 0,
               "dsp_served: getsockname failed: " << std::strerror(errno));
   port_ = ntohs(bound.sin_port);
+
+  // Registered after every member above is live; the source only reads
+  // atomics, the gate's own lock, and the store's counters, so stats and
+  // metrics frames may pull it concurrently with serving.
+  obs_source_ = obs::Registry::global().register_source(
+      [this](std::vector<obs::Sample>& out) {
+        out.push_back({"daemon.accepted", accepted_.load(), false});
+        out.push_back({"daemon.requests", requests_.load(), false});
+        out.push_back({"daemon.served", served_.load(), false});
+        out.push_back({"daemon.shed", shed_.load(), false});
+        out.push_back({"daemon.errors", errors_.load(), false});
+        out.push_back({"daemon.warm_loaded", warm_loaded_, false});
+        out.push_back({"daemon.draining",
+                       draining_.load() ? std::uint64_t{1} : std::uint64_t{0},
+                       true});
+        const runtime::AdmissionGate::Counters gate = gate_.counters();
+        out.push_back({"admission.admitted", gate.admitted, false});
+        out.push_back({"admission.queued", gate.queued, false});
+        out.push_back({"admission.shed", gate.shed, false});
+        out.push_back({"admission.closed_rejects", gate.closed_rejects, false});
+        out.push_back({"admission.active", gate.active, true});
+        out.push_back({"admission.waiting", gate.waiting, true});
+        out.push_back({"admission.peak_waiting", gate.peak_waiting, true});
+        if (store_) {
+          out.push_back({"persist.appends", store_->appends(), false});
+          out.push_back({"persist.compactions", store_->compactions(), false});
+        }
+      });
 }
 
 Daemon::~Daemon() {
@@ -184,6 +214,15 @@ WireStats Daemon::wire_stats() const {
   stats.scheduler.attempt_ewma_nanos = tuner.attempt_ewma_nanos;
   stats.scheduler.probe_concurrency = tuner.last_probe_concurrency;
   stats.scheduler.pricing_threads = tuner.last_pricing_threads;
+  const obs::HistogramSnapshot request =
+      obs::phase_histogram(obs::Phase::kRequest).snapshot();
+  stats.obs.request_count = request.total;
+  stats.obs.request_p50_nanos = request.quantile(50, 100);
+  stats.obs.request_p95_nanos = request.quantile(95, 100);
+  stats.obs.request_p99_nanos = request.quantile(99, 100);
+  stats.obs.spans_recorded = obs::Tracer::global().spans_recorded();
+  stats.obs.spans_dropped = obs::Tracer::global().spans_dropped();
+  stats.obs.tracing_enabled = obs::tracing_enabled();
   return stats;
 }
 
@@ -248,10 +287,17 @@ bool Daemon::handle_frame(int fd, std::uint8_t type, std::string payload) {
   switch (type) {
     case frame::kSolve: {
       try {
+        // One request id per frame: the solve below (and every span it
+        // opens, down to LP resolves) carries this id in the trace.
+        const obs::RequestScope request_scope;
+        const obs::ScopedSpan request_span(obs::Phase::kRequest);
         std::istringstream is(std::move(payload));
         const WireInstance wire = load_instance(is, "tcp-request");
         const Instance instance = wire.to_instance();
-        const runtime::AdmissionSlot slot(gate_, gate_.enter());
+        const runtime::AdmissionSlot slot(gate_, [this]() {
+          const obs::ScopedSpan wait_span(obs::Phase::kAdmissionWait);
+          return gate_.enter();
+        }());
         if (slot.ticket() != Ticket::kAdmitted) {
           ++shed_;
           return write_frame(
@@ -273,6 +319,10 @@ bool Daemon::handle_frame(int fd, std::uint8_t type, std::string payload) {
     case frame::kStats:
       return write_frame(fd, frame::kStatsOk,
                          frame::encode_stats(wire_stats()));
+    case frame::kMetrics:
+      return write_frame(
+          fd, frame::kMetricsOk,
+          frame::encode_metrics(obs::Registry::global().prometheus_text()));
     default:
       ++errors_;
       // Unknown type: answer, then close — the payload boundary of the
@@ -391,6 +441,16 @@ WireStats DaemonClient::stats() {
               peer_ << ": unexpected reply frame type "
                     << static_cast<int>(type) << " to a stats request");
   return frame::decode_stats(std::move(payload), peer_ + ": stats_ok frame");
+}
+
+std::string DaemonClient::metrics() {
+  send_frame(frame::kMetrics, std::string());
+  auto [type, payload] = read_frame();
+  DSP_REQUIRE(type == frame::kMetricsOk,
+              peer_ << ": unexpected reply frame type "
+                    << static_cast<int>(type) << " to a metrics request");
+  return frame::decode_metrics(std::move(payload),
+                               peer_ + ": metrics_ok frame");
 }
 
 }  // namespace dsp::service

@@ -7,12 +7,14 @@
 //
 //   frame   := u32 payload_len (LE)  u8 type  payload[payload_len]
 //
-//   requests            responses
-//   1 solve  (instance) 1 solve_ok (u8 outcome, i64 peak, str winner,
-//                                   u64 n, i64 start[n])
-//   2 stats  (empty)    2 error    (str message)
-//                       3 stats_ok (counters record, see WireStats)
-//                       4 busy     (str reason — shed or draining)
+//   requests             responses
+//   1 solve   (instance) 1 solve_ok   (u8 outcome, i64 peak, str winner,
+//                                      u64 n, i64 start[n])
+//   2 stats   (empty)    2 error      (str message)
+//   3 metrics (empty)    3 stats_ok   (u8 version, counters record —
+//                                      see WireStats / kStatsVersion)
+//                        4 busy       (str reason — shed or draining)
+//                        5 metrics_ok (u8 version, str Prometheus text)
 //
 // A solve payload is one DSPW instance record, binary or JSON (the same
 // auto-detection as load_instance); the response packing is in the
@@ -38,6 +40,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "runtime/admission.hpp"
 #include "runtime/sync.hpp"
 #include "service/cache.hpp"
@@ -122,6 +125,10 @@ class Daemon {
   std::atomic<std::uint64_t> shed_{0};
   std::atomic<std::uint64_t> errors_{0};
   std::uint64_t warm_loaded_ = 0;
+  /// Registry pull-source exporting daemon.* / admission.* / persist.*
+  /// samples.  Declared last: it captures `this` and reads the members
+  /// above, so it must unregister before any of them is torn down.
+  obs::Registry::Source obs_source_;
 };
 
 /// One blocking client connection to a dsp_served daemon.  Not thread-safe
@@ -160,6 +167,11 @@ class DaemonClient {
                                     WireFormat format = WireFormat::kBinary);
 
   [[nodiscard]] WireStats stats();
+
+  /// Fetches the daemon's metrics exposition (Prometheus-style text) via a
+  /// metrics frame.  Throws InvalidInput on protocol errors, including a
+  /// daemon answering with an unknown exposition version.
+  [[nodiscard]] std::string metrics();
 
  private:
   void send_frame(std::uint8_t type, const std::string& payload);

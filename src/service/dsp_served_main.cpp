@@ -13,16 +13,28 @@
 //              [--probe-concurrency N] [--pricing-threads N] [--cache-mb M]
 //              [--max-concurrent N] [--max-queue N]
 //              [--persist DIR] [--snapshot-every N]
+//              [--metrics-out FILE] [--trace-out FILE]
 //
 // --steal/--probe-concurrency/--pricing-threads mirror dsp_solve's flags:
 // execution knobs only (responses are bit-identical either way), strict
 // integer parsing, 0 = auto-tuned where documented there.
 //
+// Observability (DESIGN.md, "Observability"): --metrics-out writes the
+// Prometheus-style exposition at drain; --trace-out switches the phase
+// tracer on and writes the Chrome trace-event JSON at drain.  The drained
+// row gains the request-latency quantiles, and one "phase" row per
+// observed phase carries the latency breakdown.  Neither flag changes any
+// packing (the bit-identity suite in tests/test_obs.cpp).
+//
 // Client mode sends each instance file to a running daemon and prints rows
 // byte-identical to dsp_solve's (the golden corpus guards both):
 //
 //   dsp_served --connect P [--host ADDR] [--repeat R]
-//              [--format binary|json] <file-or-directory>...
+//              [--format binary|json] [--metrics-out FILE]
+//              <file-or-directory>...
+//
+// In client mode --metrics-out fetches the *daemon's* exposition over a
+// metrics frame and writes it to FILE (stdout rows stay byte-identical).
 //
 // Exit status: 0 on success, 1 on usage errors, 2 on load/solve/connect
 // failures.
@@ -38,7 +50,11 @@
 #include <string>
 #include <vector>
 
+#include <fstream>
+
 #include "core/bounds.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 #include "service/cli.hpp"
 #include "service/daemon.hpp"
@@ -53,6 +69,8 @@ using namespace dsp;
 struct CliOptions {
   service::DaemonOptions daemon;
   std::size_t cache_mb = 64;
+  std::string metrics_out;  ///< exposition written at drain (client: fetched)
+  std::string trace_out;    ///< enables tracing; Chrome JSON written at drain
   // Client mode (--connect).
   bool connect = false;
   std::uint16_t connect_port = 0;
@@ -70,8 +88,10 @@ void print_usage(std::ostream& os) {
         "[--cache-mb M]\n"
         "                  [--max-concurrent N] [--max-queue N]\n"
         "                  [--persist DIR] [--snapshot-every N]\n"
+        "                  [--metrics-out FILE] [--trace-out FILE]\n"
         "       dsp_served --connect P [--host ADDR] [--repeat R]\n"
-        "                  [--format binary|json] <file-or-directory>...\n";
+        "                  [--format binary|json] [--metrics-out FILE]\n"
+        "                  <file-or-directory>...\n";
 }
 
 [[noreturn]] void usage_error(const std::string& message) {
@@ -158,6 +178,10 @@ void print_usage(std::ostream& os) {
       options.daemon.max_queue = parse_count(arg, next_value(i, arg));
     } else if (arg == "--persist") {
       options.daemon.persist_dir = next_value(i, arg);
+    } else if (arg == "--metrics-out") {
+      options.metrics_out = next_value(i, arg);
+    } else if (arg == "--trace-out") {
+      options.trace_out = next_value(i, arg);
     } else if (arg == "--snapshot-every") {
       options.daemon.snapshot_every =
           std::max<std::size_t>(1, parse_count(arg, next_value(i, arg)));
@@ -213,7 +237,22 @@ void install_signal_handlers() {
   sigaction(SIGINT, &action, nullptr);
 }
 
+/// Writes `body(os)` to `path`, warning (not failing) on I/O errors — a
+/// full disk must not turn a clean drain into a nonzero exit.
+template <typename Body>
+void write_observability_file(const std::string& path, const char* what,
+                              Body&& body) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (os) body(os);
+  os.flush();
+  if (!os) {
+    std::cerr << "dsp_served: warning: cannot write " << what << " to "
+              << path << "\n";
+  }
+}
+
 int run_daemon(const CliOptions& options) {
+  if (!options.trace_out.empty()) obs::set_tracing_enabled(true);
   service::Daemon daemon(options.daemon);
   install_signal_handlers();
   daemon.start();
@@ -238,6 +277,7 @@ int run_daemon(const CliOptions& options) {
   // Lifetime scheduler counters ride along: by drain time every transient
   // pool has retired, so the process-wide totals are complete.
   const runtime::SchedulerCounters sched = runtime::scheduler_totals();
+  const service::ObsStats obs_stats = daemon.wire_stats().obs;
   JsonRow()
       .field("dsp_served", "drained")
       .field("accepted", stats.accepted)
@@ -247,7 +287,40 @@ int run_daemon(const CliOptions& options) {
       .field("errors", stats.errors)
       .field("steals", sched.steals)
       .field("steal_fails", sched.steal_fails)
+      .field("request_p50_nanos", obs_stats.request_p50_nanos)
+      .field("request_p95_nanos", obs_stats.request_p95_nanos)
+      .field("request_p99_nanos", obs_stats.request_p99_nanos)
+      .field("spans_recorded", obs_stats.spans_recorded)
+      .field("spans_dropped", obs_stats.spans_dropped)
       .print(std::cout);
+  // Phase-level latency breakdown, one row per phase that fired (coarse
+  // log2-bucket quantiles; the histograms live for the process lifetime).
+  for (std::size_t p = 0; p < static_cast<std::size_t>(obs::Phase::kCount);
+       ++p) {
+    const auto phase = static_cast<obs::Phase>(p);
+    const obs::HistogramSnapshot snap = obs::phase_histogram(phase).snapshot();
+    if (snap.total == 0) continue;
+    JsonRow()
+        .field("dsp_served", "phase")
+        .field("phase", std::string(obs::phase_name(phase)))
+        .field("count", snap.total)
+        .field("p50_nanos", snap.quantile(50, 100))
+        .field("p95_nanos", snap.quantile(95, 100))
+        .field("p99_nanos", snap.quantile(99, 100))
+        .print(std::cout);
+  }
+  if (!options.metrics_out.empty()) {
+    write_observability_file(
+        options.metrics_out, "metrics exposition", [](std::ostream& os) {
+          os << obs::Registry::global().prometheus_text();
+        });
+  }
+  if (!options.trace_out.empty()) {
+    write_observability_file(
+        options.trace_out, "trace", [](std::ostream& os) {
+          obs::Tracer::global().write_chrome_trace(os);
+        });
+  }
   return 0;
 }
 
@@ -290,6 +363,12 @@ int run_client(const CliOptions& options,
       std::cout,
       service::SummaryRow{requests, files.size(), options.repeat, after.cache,
                           static_cast<std::size_t>(after.capacity_bytes >> 20)});
+  if (!options.metrics_out.empty()) {
+    // The daemon's exposition (this client records no metrics of note).
+    const std::string exposition = client.metrics();
+    write_observability_file(options.metrics_out, "metrics exposition",
+                             [&](std::ostream& os) { os << exposition; });
+  }
   return 0;
 }
 

@@ -24,22 +24,36 @@
 //     --repeat R                   serve the request list R times (default 1;
 //                                  repeats after the first hit the cache)
 //     --no-cache                   bypass the cache (responses identical)
+//     --metrics-out FILE           write the Prometheus-style metrics
+//                                  exposition to FILE at exit
+//     --trace-out FILE             enable phase tracing; write the Chrome
+//                                  trace-event JSON to FILE at exit
 //     --emit-corpus DIR            write the golden gen corpus to DIR and exit
+//
+// With --repeat > 1 the passes run as separate batches and a per-pass
+// latency breakdown goes to *stderr* (stdout rows stay byte-identical to
+// the golden corpus): one "latency" row each for the cold pass (pass 0),
+// the warm passes (1..R-1 merged), and overall, with p50/p95/p99 solve
+// latencies from the phase histograms (coarse log2-bucket upper bounds).
 //
 // Exit status: 0 on success, 1 on usage errors (bad flags, bad paths),
 // 2 on load/solve failures.
 
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "core/bounds.hpp"
 #include "gen/corpus.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/cache.hpp"
 #include "service/cli.hpp"
 #include "service/wire.hpp"
 #include "util/check.hpp"
+#include "util/json_row.hpp"
 
 namespace {
 
@@ -49,6 +63,8 @@ struct CliOptions {
   service::ServeParams serve;
   std::size_t cache_mb = 64;
   std::size_t repeat = 1;
+  std::string metrics_out;  ///< exposition written at exit
+  std::string trace_out;    ///< enables tracing; Chrome JSON written at exit
   std::string emit_corpus_dir;
   std::vector<std::string> paths;
 };
@@ -59,6 +75,7 @@ void print_usage(std::ostream& os) {
         "                 [--threads N] [--steal 0|1] [--probe-concurrency N]\n"
         "                 [--pricing-threads N] [--cache-mb M] [--repeat R] "
         "[--no-cache]\n"
+        "                 [--metrics-out FILE] [--trace-out FILE]\n"
         "                 [--emit-corpus DIR] <file-or-directory>...\n";
 }
 
@@ -136,6 +153,10 @@ void print_usage(std::ostream& os) {
           std::max<std::size_t>(1, parse_count(arg, next_value(i, arg)));
     } else if (arg == "--no-cache") {
       options.serve.bypass_cache = true;
+    } else if (arg == "--metrics-out") {
+      options.metrics_out = next_value(i, arg);
+    } else if (arg == "--trace-out") {
+      options.trace_out = next_value(i, arg);
     } else if (arg == "--emit-corpus") {
       options.emit_corpus_dir = next_value(i, arg);
     } else if (!arg.empty() && arg[0] == '-') {
@@ -145,6 +166,19 @@ void print_usage(std::ostream& os) {
     }
   }
   return options;
+}
+
+/// One stderr latency row: solve-phase quantiles over a histogram window.
+void print_latency_row(const char* window, const obs::HistogramSnapshot& snap) {
+  JsonRow()
+      .field("dsp_solve", "latency")
+      .field("window", std::string(window))
+      .field("count", snap.total)
+      .field("p50_nanos", snap.quantile(50, 100))
+      .field("p95_nanos", snap.quantile(95, 100))
+      .field("p99_nanos", snap.quantile(99, 100))
+      .field("sum_nanos", snap.sum)
+      .print(std::cerr);
 }
 
 int emit_corpus(const std::string& dir) {
@@ -164,6 +198,7 @@ int emit_corpus(const std::string& dir) {
 
 int main(int argc, char** argv) {
   const CliOptions options = parse_args(argc, argv);
+  if (!options.trace_out.empty()) obs::set_tracing_enabled(true);
   if (!options.emit_corpus_dir.empty()) {
     return emit_corpus(options.emit_corpus_dir);
   }
@@ -194,20 +229,33 @@ int main(int argc, char** argv) {
       file_instances.push_back(wires.back().to_instance());
       file_lower_bounds.push_back(combined_lower_bound(file_instances.back()));
     }
-    std::vector<Instance> batch;
-    std::vector<std::size_t> file_of_request;
-    for (std::size_t pass = 0; pass < options.repeat; ++pass) {
-      for (std::size_t f = 0; f < wires.size(); ++f) {
-        batch.push_back(file_instances[f]);
-        file_of_request.push_back(f);
-      }
-    }
-
     service::CachingSolver solver(
         options.serve,
         service::CacheOptions{options.cache_mb << 20, /*shards=*/8});
-    const std::vector<service::SolveResponse> responses =
-        solver.solve_many(batch);
+
+    // One solve_many per pass (not one flat repeat x files batch): the
+    // per-pass phase-histogram deltas are what turns --repeat into a
+    // cold-vs-warm latency experiment.  Responses are bit-identical either
+    // way (the batch axis is execution-only), and pass 0 misses while
+    // later passes hit, exactly as the flat batch did.
+    const obs::Histogram& solve_hist =
+        obs::phase_histogram(obs::Phase::kSolve);
+    const obs::HistogramSnapshot before = solve_hist.snapshot();
+    obs::HistogramSnapshot after_cold = before;
+    std::vector<Instance> pass_batch(file_instances.begin(),
+                                     file_instances.end());
+    std::vector<service::SolveResponse> responses;
+    std::vector<std::size_t> file_of_request;
+    responses.reserve(options.repeat * wires.size());
+    for (std::size_t pass = 0; pass < options.repeat; ++pass) {
+      std::vector<service::SolveResponse> pass_responses =
+          solver.solve_many(pass_batch);
+      for (std::size_t f = 0; f < wires.size(); ++f) {
+        responses.push_back(std::move(pass_responses[f]));
+        file_of_request.push_back(f);
+      }
+      if (pass == 0) after_cold = solve_hist.snapshot();
+    }
 
     const std::string engine =
         std::string(service::to_string(solver.params().engine));
@@ -225,6 +273,33 @@ int main(int argc, char** argv) {
         std::cout,
         service::SummaryRow{responses.size(), files.size(), options.repeat,
                             solver.stats(), options.cache_mb});
+    if (options.repeat > 1) {
+      // Per-repeat latency quantiles, on stderr so the golden stdout diff
+      // never sees them (and zeros when metrics are compiled/switched off).
+      const obs::HistogramSnapshot final_snap = solve_hist.snapshot();
+      print_latency_row("cold", after_cold.since(before));
+      print_latency_row("warm", final_snap.since(after_cold));
+      print_latency_row("overall", final_snap.since(before));
+    }
+    if (!options.metrics_out.empty()) {
+      std::ofstream os(options.metrics_out,
+                       std::ios::binary | std::ios::trunc);
+      if (os) os << obs::Registry::global().prometheus_text();
+      os.flush();
+      if (!os) {
+        std::cerr << "dsp_solve: warning: cannot write metrics exposition to "
+                  << options.metrics_out << "\n";
+      }
+    }
+    if (!options.trace_out.empty()) {
+      std::ofstream os(options.trace_out, std::ios::binary | std::ios::trunc);
+      if (os) obs::Tracer::global().write_chrome_trace(os);
+      os.flush();
+      if (!os) {
+        std::cerr << "dsp_solve: warning: cannot write trace to "
+                  << options.trace_out << "\n";
+      }
+    }
   } catch (const dsp::InvalidInput& error) {
     std::cerr << "dsp_solve: " << error.what() << "\n";
     return 2;

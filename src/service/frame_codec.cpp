@@ -69,6 +69,7 @@ SolveResponse decode_solve_ok(std::string payload, const std::string& source) {
 
 std::string encode_stats(const WireStats& stats) {
   detail::BinaryWriter payload;
+  payload.u8(kStatsVersion);
   payload.str(stats.engine);
   payload.u64(stats.capacity_bytes);
   payload.u64(stats.cache.hits);
@@ -97,12 +98,25 @@ std::string encode_stats(const WireStats& stats) {
   // Knob choices are small non-negative ints; carried as u64 like the rest.
   payload.u64(static_cast<std::uint64_t>(stats.scheduler.probe_concurrency));
   payload.u64(static_cast<std::uint64_t>(stats.scheduler.pricing_threads));
+  payload.u64(stats.obs.request_count);
+  payload.u64(stats.obs.request_p50_nanos);
+  payload.u64(stats.obs.request_p95_nanos);
+  payload.u64(stats.obs.request_p99_nanos);
+  payload.u64(stats.obs.spans_recorded);
+  payload.u64(stats.obs.spans_dropped);
+  payload.boolean(stats.obs.tracing_enabled);
   return payload.take();
 }
 
 WireStats decode_stats(std::string payload, const std::string& source) {
   detail::BinaryReader reader(std::move(payload), source);
   WireStats stats;
+  const std::uint8_t version = reader.u8();
+  if (version != kStatsVersion) {
+    reader.fail("stats payload version " + std::to_string(version) +
+                    ", expected " + std::to_string(kStatsVersion),
+                0);
+  }
   stats.engine = reader.str();
   stats.capacity_bytes = reader.u64();
   stats.cache.hits = reader.u64();
@@ -130,8 +144,35 @@ WireStats decode_stats(std::string payload, const std::string& source) {
   stats.scheduler.attempt_ewma_nanos = reader.u64();
   stats.scheduler.probe_concurrency = static_cast<std::int64_t>(reader.u64());
   stats.scheduler.pricing_threads = static_cast<std::int64_t>(reader.u64());
+  stats.obs.request_count = reader.u64();
+  stats.obs.request_p50_nanos = reader.u64();
+  stats.obs.request_p95_nanos = reader.u64();
+  stats.obs.request_p99_nanos = reader.u64();
+  stats.obs.spans_recorded = reader.u64();
+  stats.obs.spans_dropped = reader.u64();
+  stats.obs.tracing_enabled = reader.boolean();
   reader.done();
   return stats;
+}
+
+std::string encode_metrics(const std::string& exposition) {
+  detail::BinaryWriter payload;
+  payload.u8(kMetricsVersion);
+  payload.str(exposition);
+  return payload.take();
+}
+
+std::string decode_metrics(std::string payload, const std::string& source) {
+  detail::BinaryReader reader(std::move(payload), source);
+  const std::uint8_t version = reader.u8();
+  if (version != kMetricsVersion) {
+    reader.fail("metrics payload version " + std::to_string(version) +
+                    ", expected " + std::to_string(kMetricsVersion),
+                0);
+  }
+  std::string exposition = reader.str();
+  reader.done();
+  return exposition;
 }
 
 }  // namespace dsp::service::frame

@@ -43,8 +43,22 @@ struct SchedulerStats {
   std::int64_t pricing_threads = 0;    ///< tuner's last choice (0 = none yet)
 };
 
+/// Observability roll-up carried on the v2 stats frame: the request-phase
+/// latency histogram boiled down to quantiles, plus tracer ring health.
+/// Quantiles are log2-bucket upper bounds (obs/metrics.hpp), not exact
+/// order statistics — coarse by design, deterministic to derive.
+struct ObsStats {
+  std::uint64_t request_count = 0;      ///< kRequest spans recorded
+  std::uint64_t request_p50_nanos = 0;  ///< bucket-upper p50
+  std::uint64_t request_p95_nanos = 0;
+  std::uint64_t request_p99_nanos = 0;
+  std::uint64_t spans_recorded = 0;  ///< tracer appends (all phases)
+  std::uint64_t spans_dropped = 0;   ///< ring overwrites (capacity exceeded)
+  bool tracing_enabled = false;
+};
+
 /// The counters record a stats frame carries (and the stats_ok payload
-/// layout, field for field in this order).
+/// layout, field for field in this order, after the leading version byte).
 struct WireStats {
   std::string engine;
   std::uint64_t capacity_bytes = 0;
@@ -53,18 +67,30 @@ struct WireStats {
   std::uint64_t persisted_appends = 0;
   std::uint64_t compactions = 0;
   SchedulerStats scheduler;
+  ObsStats obs;
 };
 
 namespace frame {
 
 // Frame types.  Requests and responses are separate numbering spaces —
 // direction disambiguates.
-inline constexpr std::uint8_t kSolve = 1;    // request
-inline constexpr std::uint8_t kStats = 2;    // request
-inline constexpr std::uint8_t kSolveOk = 1;  // response
-inline constexpr std::uint8_t kError = 2;    // response
-inline constexpr std::uint8_t kStatsOk = 3;  // response
-inline constexpr std::uint8_t kBusy = 4;     // response
+inline constexpr std::uint8_t kSolve = 1;      // request
+inline constexpr std::uint8_t kStats = 2;      // request
+inline constexpr std::uint8_t kMetrics = 3;    // request (empty payload)
+inline constexpr std::uint8_t kSolveOk = 1;    // response
+inline constexpr std::uint8_t kError = 2;      // response
+inline constexpr std::uint8_t kStatsOk = 3;    // response
+inline constexpr std::uint8_t kBusy = 4;       // response
+inline constexpr std::uint8_t kMetricsOk = 5;  // response
+
+/// Leading version byte of the stats_ok payload.  v1 (the unversioned
+/// layout) started with the engine-string length, so a v2 payload read by
+/// a v1 client fails fast as a bogus string length, and a v1 payload read
+/// here fails with an explicit version mismatch — never a silent misparse.
+inline constexpr std::uint8_t kStatsVersion = 2;
+
+/// Leading version byte of the metrics_ok payload (Prometheus-style text).
+inline constexpr std::uint8_t kMetricsVersion = 1;
 
 /// u32 payload length (LE) + u8 type.
 inline constexpr std::size_t kHeaderSize = 5;
@@ -98,6 +124,11 @@ struct Header {
 [[nodiscard]] std::string encode_stats(const WireStats& stats);
 [[nodiscard]] WireStats decode_stats(std::string payload,
                                      const std::string& source);
+/// metrics_ok payload: kMetricsVersion byte + the Prometheus-style text
+/// exposition (obs::Registry::prometheus_text) as a length-prefixed string.
+[[nodiscard]] std::string encode_metrics(const std::string& exposition);
+[[nodiscard]] std::string decode_metrics(std::string payload,
+                                         const std::string& source);
 
 }  // namespace frame
 

@@ -91,6 +91,15 @@ RUNTIME_CLOCK_ALLOWLIST = (
     "src/runtime/autotune.cpp",
 )
 
+# The observability layer: scanned for wall-clock and randomness.  Spans
+# observe time but never feed it back into solving (obs/trace.hpp's
+# determinism argument), and the structural enforcement is this pass: the
+# one file allowed to name a clock is trace.cpp, where every steady_clock
+# call lives out of line.  Any other clock under src/obs — or any clock an
+# instrumented result-affecting file would gain — is a finding.
+OBS_DIR = "src/obs"
+OBS_CLOCK_ALLOWLIST = ("src/obs/trace.cpp",)
+
 # Modules blessed for floating-point arithmetic.  The LP relaxation is
 # inherently fractional; its epsilon/comparison discipline is centralized
 # and documented in lp/simplex.hpp, and pricing/config_lp consume its
@@ -318,6 +327,23 @@ def main() -> int:
             continue
         findings.extend(lint_file(f, rel, rules=("wall-clock",)))
     files.extend(runtime_files)
+
+    # Observability pass: randomness is banned everywhere under src/obs,
+    # and wall-clock is pinned to exactly trace.cpp.
+    obs_dir = root / OBS_DIR
+    if not obs_dir.is_dir():
+        print(f"lint_determinism: missing directory {obs_dir}", file=sys.stderr)
+        return 2
+    obs_files = sorted(obs_dir.glob("*.hpp")) + sorted(obs_dir.glob("*.cpp"))
+    for f in obs_files:
+        rel = str(f.relative_to(root))
+        rules = (
+            ("banned-randomness",)
+            if rel in OBS_CLOCK_ALLOWLIST
+            else ("wall-clock", "banned-randomness")
+        )
+        findings.extend(lint_file(f, rel, rules=rules))
+    files.extend(obs_files)
 
     if findings:
         print(f"lint_determinism: {len(findings)} finding(s):", file=sys.stderr)

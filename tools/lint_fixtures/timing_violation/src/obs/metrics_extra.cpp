@@ -1,0 +1,12 @@
+// Fixture: wall-clock in an obs file that is NOT the allowlisted
+// trace.cpp.  The obs pass must flag this — the whole point of the
+// allowlist is that exactly one file under src/obs may name a clock.
+#include <chrono>
+
+namespace fixture {
+
+long long histogram_stamp() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace fixture

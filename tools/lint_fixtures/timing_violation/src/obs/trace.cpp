@@ -1,0 +1,11 @@
+// Fixture: wall-clock in the one allowlisted obs file.  The obs pass must
+// NOT flag this (CI greps the lint output to confirm the allowlist works).
+#include <chrono>
+
+namespace fixture {
+
+long long span_now() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace fixture
